@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every per-figure/per-table benchmark regenerates the corresponding paper
+artefact against a shared, session-scoped pipeline (generated and crawled
+once), so the benchmark numbers measure the *analysis* cost and the reported
+comparisons stay consistent across the whole harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.pipeline import ReproPipeline
+
+
+@pytest.fixture(scope="session")
+def pipeline() -> ReproPipeline:
+    """The calibration-scale pipeline every experiment benchmark reuses."""
+    pipe = ReproPipeline(scenario="small", seed=42, campaign_days=2.0)
+    # Materialise the expensive stages up-front so individual benchmarks
+    # measure analysis cost, not generation/crawl cost.
+    pipe.dataset
+    return pipe
+
+
+@pytest.fixture(scope="session")
+def warm_pipeline(pipeline: ReproPipeline) -> ReproPipeline:
+    """The same pipeline with the Perspective score cache pre-warmed."""
+    pipeline.collateral_analyzer.summary()
+    return pipeline

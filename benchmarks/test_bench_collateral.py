@@ -1,0 +1,12 @@
+"""E-COLL benchmark: regenerate the Section 5 collateral-damage scalars."""
+
+from __future__ import annotations
+
+from repro.experiments import collateral
+
+
+def test_bench_collateral(benchmark, warm_pipeline):
+    """Regenerate the Section 5 scalars and check the collateral share."""
+    result = benchmark(collateral.run, warm_pipeline)
+    assert result.measured("non_harmful_user_share") > 0.85
+    assert result.measured("harmful_user_share") < 0.15

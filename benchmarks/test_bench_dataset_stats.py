@@ -1,0 +1,12 @@
+"""E-STATS benchmark: regenerate the Section 3 dataset statistics."""
+
+from __future__ import annotations
+
+from repro.experiments import dataset_stats
+
+
+def test_bench_dataset_stats(benchmark, pipeline):
+    """Regenerate the Section 3 headline statistics and check their shape."""
+    result = benchmark(dataset_stats.run, pipeline)
+    assert result.measured("pleroma_share_of_instances") > 0.05
+    assert result.measured("crawlable_pleroma_share") > 0.7

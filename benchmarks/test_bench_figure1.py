@@ -1,0 +1,12 @@
+"""E-FIG1 benchmark: regenerate Figure 1 (top-15 policy types)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1(benchmark, pipeline):
+    """Regenerate Figure 1 and check ObjectAgePolicy tops the ranking."""
+    result = benchmark(figure1.run, pipeline)
+    assert result.rows[0]["policy"] == "ObjectAgePolicy"
+    assert result.measured("ObjectAgePolicy_instance_share") > 0.5

@@ -1,0 +1,12 @@
+"""E-FIG2 benchmark: regenerate Figure 2 (instances targeted per action)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure2
+
+
+def test_bench_figure2(benchmark, pipeline):
+    """Regenerate Figure 2 and check reject targets the most instances."""
+    result = benchmark(figure2.run, pipeline)
+    assert result.rows[0]["action"] == "reject"
+    assert result.measured("non_pleroma_share_of_reject_targets") > 0.5

@@ -1,0 +1,12 @@
+"""E-FIG3 benchmark: regenerate Figure 3 (instances applying each action)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure3
+
+
+def test_bench_figure3(benchmark, pipeline):
+    """Regenerate Figure 3 and check reject is the most applied action."""
+    result = benchmark(figure3.run, pipeline)
+    assert result.measured("reject_applied_by_most_instances") == 1.0
+    assert result.measured("reject_event_share") > 0.5

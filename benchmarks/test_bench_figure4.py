@@ -1,0 +1,11 @@
+"""E-FIG4 benchmark: regenerate Figure 4 (rejected instances' scores)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure4
+
+
+def test_bench_figure4(benchmark, warm_pipeline):
+    """Regenerate Figure 4 and check the instance score band."""
+    result = benchmark(figure4.run, warm_pipeline)
+    assert 0.0 < result.measured("mean_toxicity") < 0.6

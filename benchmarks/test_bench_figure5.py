@@ -1,0 +1,12 @@
+"""E-FIG5 benchmark: regenerate Figure 5 (rejected instances, users, rejects)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure5
+
+
+def test_bench_figure5(benchmark, pipeline):
+    """Regenerate Figure 5 and check the user concentration on rejected instances."""
+    result = benchmark(figure5.run, pipeline)
+    assert result.measured("rejected_user_share") > 0.7
+    assert result.measured("rejected_pleroma_share") < 0.3

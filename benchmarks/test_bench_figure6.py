@@ -1,0 +1,11 @@
+"""E-FIG6 benchmark: regenerate Figure 6 (harmful vs non-harmful users)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure6
+
+
+def test_bench_figure6(benchmark, warm_pipeline):
+    """Regenerate Figure 6 and check the non-harmful bars dominate."""
+    result = benchmark(figure6.run, warm_pipeline)
+    assert result.measured("non_harmful_user_share") > 0.85

@@ -1,0 +1,12 @@
+"""E-FIG7 benchmark: regenerate Figure 7 (the full policy spectrum)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure7
+
+
+def test_bench_figure7(benchmark, pipeline):
+    """Regenerate Figure 7 and check custom policies are observed."""
+    result = benchmark(figure7.run, pipeline)
+    assert result.measured("most_enabled_policy_is_objectage") == 1.0
+    assert result.measured("distinct_policy_types") >= 15

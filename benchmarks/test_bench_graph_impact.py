@@ -1,0 +1,12 @@
+"""E-GRAPH benchmark: the Section 6 federation-graph impact."""
+
+from __future__ import annotations
+
+from repro.experiments import graph_impact
+
+
+def test_bench_graph_impact(benchmark, pipeline):
+    """Quantify the reachability loss caused by the observed rejects."""
+    result = benchmark(graph_impact.run, pipeline)
+    assert result.measured("rejects_fragment_graph") == 1.0
+    assert result.measured("pair_loss_share") >= 0.0

@@ -1,0 +1,103 @@
+"""Ablation benchmark: the Section 7 proposed policies vs instance rejects.
+
+Replays the same stream of mixed (harmful + benign) federated posts through
+the blanket instance-level reject and through each proposed policy, and
+measures both the filtering throughput and the collateral profile (how many
+benign posts survive).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.activitypub.activities import create_activity
+from repro.activitypub.actors import Actor
+from repro.fediverse.post import Post
+from repro.mrf.pipeline import MRFPipeline
+from repro.mrf.proposed import AutoTagPolicy, CuratedBlocklistPolicy, RepeatOffenderPolicy
+from repro.mrf.simple import SimplePolicy
+from repro.synth.text import TextGenerator
+
+
+def _activity_stream(count: int = 400):
+    """A stream from one instance where 1 user in 20 posts harmful content."""
+    rng = random.Random(17)
+    text = TextGenerator(rng)
+    activities = []
+    for index in range(count):
+        user = f"user{index % 20}"
+        harmful = user == "user0"
+        content = (
+            text.harmful_post(("toxicity",), 0.88, length=20)
+            if harmful
+            else text.benign_post(length=20)
+        )
+        post = Post(
+            post_id=f"p{index}",
+            author=f"{user}@mixed.example",
+            domain="mixed.example",
+            content=content,
+            created_at=float(index),
+        )
+        actor = Actor(username=user, domain="mixed.example", created_at=0.0, follower_count=5)
+        activities.append(create_activity(post, actor=actor))
+    return activities
+
+
+STREAM = _activity_stream()
+BENIGN_TOTAL = sum(1 for a in STREAM if a.actor.username != "user0")
+
+
+def _pipeline_with(policy) -> MRFPipeline:
+    pipeline = MRFPipeline(local_domain="home.example")
+    pipeline.add_policy(policy)
+    return pipeline
+
+
+def _replay(pipeline: MRFPipeline) -> tuple[int, int]:
+    """Return (benign posts delivered untouched, harmful posts suppressed)."""
+    benign_delivered = 0
+    harmful_suppressed = 0
+    for activity in STREAM:
+        decision = pipeline.filter(activity, now=1e6)
+        harmful = activity.actor.username == "user0"
+        if harmful and (decision.rejected or decision.modified):
+            harmful_suppressed += 1
+        if not harmful and decision.accepted and not decision.modified:
+            benign_delivered += 1
+    return benign_delivered, harmful_suppressed
+
+
+def test_bench_baseline_instance_reject(benchmark):
+    """Blanket reject of the whole instance: everything is suppressed."""
+    pipeline = _pipeline_with(SimplePolicy(reject=["mixed.example"]))
+    benign_delivered, _ = benchmark(_replay, pipeline)
+    assert benign_delivered == 0  # the collateral damage the paper measures
+
+
+def test_bench_curated_blocklist(benchmark):
+    """Curated lists that do not contain this mostly-benign instance."""
+    policy = CuratedBlocklistPolicy(
+        lists={"NoHate": ["hate.example"]}, subscribed=["NoHate"]
+    )
+    pipeline = _pipeline_with(policy)
+    benign_delivered, _ = benchmark(_replay, pipeline)
+    assert benign_delivered == BENIGN_TOTAL
+
+
+def test_bench_auto_tag_policy(benchmark):
+    """Classifier-assisted per-user tagging spares benign users."""
+    pipeline = _pipeline_with(AutoTagPolicy(min_posts=2))
+    benign_delivered, harmful_suppressed = benchmark(_replay, pipeline)
+    assert benign_delivered == BENIGN_TOTAL
+    assert harmful_suppressed > 0
+
+
+def test_bench_repeat_offender_policy(benchmark):
+    """Strike-based escalation suppresses the offender, spares the rest."""
+    pipeline = _pipeline_with(RepeatOffenderPolicy(tag_after=2, reject_after=4))
+    benign_delivered, harmful_suppressed = benchmark(_replay, pipeline)
+    assert benign_delivered == BENIGN_TOTAL
+    assert harmful_suppressed > 0

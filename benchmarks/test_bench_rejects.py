@@ -1,0 +1,13 @@
+"""E-REJ benchmark: regenerate the Section 4.2 rejected-instance scalars."""
+
+from __future__ import annotations
+
+from repro.experiments import rejects
+
+
+def test_bench_rejects(benchmark, warm_pipeline):
+    """Regenerate the Section 4.2 scalars and check their shape."""
+    result = benchmark(rejects.run, warm_pipeline)
+    assert result.measured("non_pleroma_share_of_rejected") > 0.5
+    assert result.measured("spearman_posts_vs_rejects") > -0.2
+    assert result.measured("annotated_harmful_category_share") > 0.6

@@ -1,0 +1,13 @@
+"""E-SOL benchmark: the Section 7 strawman-policy ablation."""
+
+from __future__ import annotations
+
+from repro.experiments import solutions
+
+
+def test_bench_solutions(benchmark, warm_pipeline):
+    """Evaluate every strawman strategy and check per-user moderation wins."""
+    result = benchmark(solutions.run, warm_pipeline)
+    assert result.measured("baseline_collateral_share") > 0.8
+    assert result.measured("per_user_tagging_collateral_share") <= 0.05
+    assert result.measured("collateral_reduction_vs_baseline") > 0.8

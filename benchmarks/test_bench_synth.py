@@ -1,0 +1,21 @@
+"""Workload-generation benchmark: synthetic-fediverse construction cost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth.generator import FediverseGenerator
+from repro.synth.scenario import scenario_config
+
+
+@pytest.mark.parametrize("scenario", ["tiny", "small"])
+def test_bench_generation(benchmark, scenario):
+    """Generate a complete fediverse (instances, users, posts, federation)."""
+    config = scenario_config(scenario, seed=5)
+
+    def run():
+        return FediverseGenerator(config).generate()
+
+    fediverse = benchmark(run)
+    assert fediverse.stats.users > 0
+    assert fediverse.stats.federated_deliveries > 0

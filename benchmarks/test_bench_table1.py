@@ -1,0 +1,11 @@
+"""E-TAB1 benchmark: regenerate Table 1 (top-5 rejected Pleroma instances)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, warm_pipeline):
+    """Regenerate Table 1 and check the elite instances dominate the head."""
+    result = benchmark(table1.run, warm_pipeline)
+    assert result.measured("elite_instances_in_top5") >= 3

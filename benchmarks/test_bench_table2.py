@@ -1,0 +1,12 @@
+"""E-TAB2 benchmark: regenerate Table 2 (threshold sweep)."""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, warm_pipeline):
+    """Regenerate Table 2 and check the sweep stays above 80% non-harmful."""
+    result = benchmark(table2.run, warm_pipeline)
+    assert result.measured("sweep_is_monotone") == 1.0
+    assert result.measured("non_harmful_at_0.5") > 0.8

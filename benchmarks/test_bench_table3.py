@@ -1,0 +1,11 @@
+"""E-TAB3 benchmark: regenerate Table 3 (in-built policy adoption)."""
+
+from __future__ import annotations
+
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark, pipeline):
+    """Regenerate Table 3 and check the paper's top policies are recovered."""
+    result = benchmark(table3.run, pipeline)
+    assert result.measured("top10_policies_recovered") >= 8

@@ -1,0 +1,117 @@
+"""A small laboratory for Pleroma's MRF policies.
+
+Builds one receiving instance, configures a realistic policy pipeline
+(SimplePolicy, ObjectAgePolicy, HellthreadPolicy, KeywordPolicy, TagPolicy)
+and replays a set of crafted activities through it, printing what each
+policy does to each activity.  Useful to understand exactly which mechanism
+produces the moderation events the paper measures.
+
+Run with::
+
+    python examples/moderation_policy_lab.py
+"""
+
+from __future__ import annotations
+
+from repro.activitypub.activities import create_activity
+from repro.activitypub.actors import Actor
+from repro.fediverse.clock import SECONDS_PER_DAY
+from repro.fediverse.post import MediaAttachment, Post
+from repro.mrf.object_age import ObjectAgePolicy
+from repro.mrf.keywords import KeywordPolicy
+from repro.mrf.pipeline import MRFPipeline
+from repro.mrf.simple import SimplePolicy
+from repro.mrf.tag import TagAction, TagPolicy
+from repro.mrf.threads import HellthreadPolicy
+
+NOW = 30 * SECONDS_PER_DAY
+
+
+def build_pipeline() -> MRFPipeline:
+    """An instance pipeline resembling a typical moderating admin's setup."""
+    pipeline = MRFPipeline(local_domain="home.example")
+    pipeline.add_policy(ObjectAgePolicy())
+    pipeline.add_policy(
+        SimplePolicy(
+            reject=["blocked.example"],
+            media_nsfw=["adult.example"],
+            federated_timeline_removal=["noisy.example"],
+        )
+    )
+    pipeline.add_policy(HellthreadPolicy(delist_threshold=5, reject_threshold=10))
+    pipeline.add_policy(KeywordPolicy(reject=["casino bonus"]))
+    tag_policy = TagPolicy()
+    tag_policy.tag_user("annoying@elsewhere.example", TagAction.FORCE_UNLISTED)
+    pipeline.add_policy(tag_policy)
+    return pipeline
+
+
+def sample_activities() -> list:
+    """A handful of activities that each trigger a different policy."""
+    def post(domain: str, author: str, content: str, **kwargs) -> Post:
+        return Post(
+            post_id=f"{domain}-{author}",
+            author=f"{author}@{domain}",
+            domain=domain,
+            content=content,
+            created_at=kwargs.pop("created_at", NOW - 600),
+            **kwargs,
+        )
+
+    return [
+        create_activity(post("friendly.example", "ana", "good morning fediverse")),
+        create_activity(post("blocked.example", "troll", "you cannot silence me")),
+        create_activity(
+            post(
+                "adult.example",
+                "artist",
+                "new piece up",
+                attachments=(MediaAttachment(url="https://adult.example/a.png"),),
+            )
+        ),
+        create_activity(
+            post("friendly.example", "oldtimer", "remember this?", created_at=NOW - 20 * SECONDS_PER_DAY)
+        ),
+        create_activity(
+            post(
+                "elsewhere.example",
+                "spammer",
+                "unmissable casino bonus just for you",
+            )
+        ),
+        create_activity(
+            post(
+                "elsewhere.example",
+                "shouty",
+                " ".join(f"@user{i}@many.example" for i in range(12)),
+            )
+        ),
+        create_activity(
+            post("elsewhere.example", "annoying", "posting about my day again"),
+            actor=Actor(username="annoying", domain="elsewhere.example"),
+        ),
+    ]
+
+
+def main() -> None:
+    pipeline = build_pipeline()
+    print("enabled policies:", ", ".join(pipeline.policy_names))
+    print()
+    header = f"{'origin':22s} {'author':10s} {'verdict':8s} {'policy':18s} {'action':28s}"
+    print(header)
+    print("-" * len(header))
+    for activity in sample_activities():
+        decision = pipeline.filter(activity, now=NOW)
+        author = activity.actor.username
+        print(
+            f"{activity.origin_domain:22s} {author:10s} "
+            f"{decision.verdict.value:8s} {decision.policy or '-':18s} {decision.action:28s}"
+        )
+    print()
+    print(f"moderation events recorded: {len(pipeline.events)}")
+    for event in pipeline.events:
+        print(f"  [{event.policy}] {event.action} <- {event.origin_domain} ({event.reason})")
+
+
+if __name__ == "__main__":
+    main()

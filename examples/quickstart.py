@@ -1,0 +1,73 @@
+"""Quickstart: a two-instance fediverse and the full reproduction pipeline.
+
+The first half builds a miniature fediverse by hand — two Pleroma instances,
+one of which rejects the other — and shows Pleroma's MRF moderation acting
+on real federated posts.  The second half runs the complete measurement
+pipeline (synthetic fediverse → crawl → analysis) and regenerates one of the
+paper's headline results.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ReproPipeline, run_experiment
+from repro.activitypub.delivery import FederationDelivery
+from repro.fediverse.registry import FediverseRegistry
+from repro.mrf.simple import SimplePolicy
+
+
+def hand_built_fediverse() -> None:
+    """Two instances, one reject policy, one blocked post."""
+    print("=== Part 1: moderation on a hand-built fediverse ===")
+    registry = FediverseRegistry()
+    moderated = registry.create_instance("quiet.example")
+    rejected = registry.create_instance("rowdy.example")
+
+    moderated.register_user("alice")
+    rejected.register_user("bob")
+
+    # The admin of quiet.example rejects everything from rowdy.example and
+    # strips media from a picture-heavy instance.
+    moderated.mrf.add_policy(
+        SimplePolicy(reject=["rowdy.example"], media_removal=["pics.example"])
+    )
+
+    delivery = FederationDelivery(registry)
+    post = rejected.publish("bob", "hello neighbours!")
+    report = delivery.federate_post(post, ["quiet.example"])[0]
+
+    print(f"post from {post.author!r} delivered to quiet.example:")
+    print(f"  accepted: {report.accepted}")
+    print(f"  policy:   {report.policy}")
+    print(f"  action:   {report.action}")
+    print(f"  moderation events logged: {len(moderated.mrf.events)}")
+    print()
+
+
+def full_pipeline() -> None:
+    """Generate, crawl and analyse a synthetic fediverse."""
+    print("=== Part 2: the reproduction pipeline ===")
+    pipeline = ReproPipeline(scenario="tiny", seed=7, campaign_days=1.0)
+
+    stats = pipeline.dataset.stats()
+    print(
+        f"crawled {stats['crawlable_pleroma_instances']} of "
+        f"{stats['pleroma_instances']} Pleroma instances, "
+        f"{stats['collected_posts']} public posts collected"
+    )
+
+    result = run_experiment("collateral", pipeline)
+    print()
+    print(result.to_text(row_limit=8))
+
+
+def main() -> None:
+    hand_built_fediverse()
+    full_pipeline()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,147 @@
+"""Delivery of activities between instances, through the receiving MRF."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.activitypub.activities import Activity, create_activity
+from repro.fediverse.errors import FederationError, PostNotFoundError
+from repro.fediverse.identifiers import normalise_domain, parse_handle
+from repro.fediverse.post import Post
+from repro.fediverse.registry import FediverseRegistry
+
+
+@dataclass
+class DeliveryReport:
+    """The outcome of delivering one activity to one target instance."""
+
+    activity_id: str
+    origin_domain: str
+    target_domain: str
+    accepted: bool
+    policy: str = ""
+    action: str = ""
+    reason: str = ""
+    modified: bool = False
+
+    @property
+    def rejected(self) -> bool:
+        """Return ``True`` when the activity was dropped by the target."""
+        return not self.accepted
+
+
+@dataclass
+class FederationStats:
+    """Aggregate counters kept by the delivery engine."""
+
+    delivered: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    modified: int = 0
+    by_policy: dict[str, int] = field(default_factory=dict)
+
+
+class FederationDelivery:
+    """Deliver activities between instances of a registry.
+
+    Incoming activities are filtered through the target instance's MRF
+    pipeline before being applied; this is where moderation policies take
+    effect, and the pipeline records the resulting moderation events that the
+    analysis later consumes.
+    """
+
+    def __init__(self, registry: FediverseRegistry) -> None:
+        self.registry = registry
+        self.stats = FederationStats()
+        self.reports: list[DeliveryReport] = []
+
+    # ------------------------------------------------------------------ #
+    # Core delivery
+    # ------------------------------------------------------------------ #
+    def deliver(self, activity: Activity, target_domain: str) -> DeliveryReport:
+        """Deliver one activity to ``target_domain`` and return the outcome."""
+        target_domain = normalise_domain(target_domain)
+        if target_domain == activity.origin_domain:
+            raise FederationError("cannot deliver an activity to its origin instance")
+        target = self.registry.get(target_domain)
+        self.registry.federate(activity.origin_domain, target_domain)
+
+        decision = target.mrf.filter(activity, now=self.registry.clock.now())
+        report = DeliveryReport(
+            activity_id=activity.activity_id,
+            origin_domain=activity.origin_domain,
+            target_domain=target_domain,
+            accepted=decision.accepted,
+            policy=decision.policy,
+            action=decision.action,
+            reason=decision.reason,
+            modified=decision.modified,
+        )
+        self._record(report)
+        if decision.accepted:
+            self._apply(decision.activity, target_domain)
+        return report
+
+    def broadcast(self, activity: Activity, target_domains: list[str]) -> list[DeliveryReport]:
+        """Deliver one activity to several targets, skipping the origin."""
+        reports = []
+        for domain in target_domains:
+            if normalise_domain(domain) == activity.origin_domain:
+                continue
+            reports.append(self.deliver(activity, domain))
+        return reports
+
+    def federate_post(self, post: Post, target_domains: list[str]) -> list[DeliveryReport]:
+        """Wrap ``post`` in a Create activity and deliver it to targets."""
+        activity = create_activity(post)
+        return self.broadcast(activity, target_domains)
+
+    # ------------------------------------------------------------------ #
+    # Application of accepted activities
+    # ------------------------------------------------------------------ #
+    def _apply(self, activity: Activity, target_domain: str) -> None:
+        target = self.registry.get(target_domain)
+        if activity.is_create and activity.post is not None:
+            target.receive_remote_post(activity.post)
+        elif activity.is_delete and isinstance(activity.obj, str):
+            post_id = activity.obj.rsplit("/", 1)[-1]
+            try:
+                target.delete_post(post_id)
+            except PostNotFoundError:
+                pass
+        elif activity.is_follow and isinstance(activity.obj, str):
+            self._apply_follow(activity, target)
+        # Flag / Announce / other types accepted by the MRF do not change
+        # instance state in this model beyond being logged.
+
+    def _apply_follow(self, activity: Activity, target) -> None:
+        username, domain = parse_handle(activity.obj)  # type: ignore[arg-type]
+        if domain != target.domain or not target.has_user(username):
+            return
+        followee = target.get_user(username)
+        follower_handle = activity.actor.handle
+        if follower_handle == followee.handle:
+            return
+        followee.add_follower(follower_handle)
+        try:
+            follower = self.registry.find_user(follower_handle)
+        except Exception:
+            return
+        follower.add_following(followee.handle)
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+    def _record(self, report: DeliveryReport) -> None:
+        self.reports.append(report)
+        self.stats.delivered += 1
+        if report.accepted:
+            self.stats.accepted += 1
+        else:
+            self.stats.rejected += 1
+        if report.modified:
+            self.stats.modified += 1
+        if report.policy:
+            self.stats.by_policy[report.policy] = (
+                self.stats.by_policy.get(report.policy, 0) + 1
+            )

@@ -1,0 +1,32 @@
+"""An in-process, Mastodon-compatible HTTP API for the simulated fediverse.
+
+The paper's measurement relies entirely on three public endpoints:
+
+* ``/api/v1/instance`` — instance metadata, including (on Pleroma) the MRF
+  configuration under ``pleroma.metadata.federation``;
+* ``/api/v1/instance/peers`` — every domain the instance has ever federated
+  with; and
+* ``/api/v1/timelines/public?local=true`` — the public timeline.
+
+This package reproduces those endpoints (plus nodeinfo) over an in-process
+transport: requests and responses are plain objects, no sockets are opened,
+but the crawler interacts with instances exactly the way the paper's crawler
+interacted with live servers — including the 404/403/502/503/410 failures
+the paper reports for uncrawlable instances.
+"""
+
+from repro.api.http import HTTPRequest, HTTPResponse, HTTPStatus
+from repro.api.router import Route, Router
+from repro.api.server import FediverseAPIServer
+from repro.api.client import APIClient, APIError
+
+__all__ = [
+    "HTTPRequest",
+    "HTTPResponse",
+    "HTTPStatus",
+    "Route",
+    "Router",
+    "FediverseAPIServer",
+    "APIClient",
+    "APIError",
+]

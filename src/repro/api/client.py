@@ -1,0 +1,99 @@
+"""The HTTP-like client used by the crawler.
+
+The client wraps the in-process :class:`~repro.api.server.FediverseAPIServer`
+behind the same surface a real HTTP client library would expose: GET a path
+on a domain, receive JSON or an :class:`APIError` carrying the status code.
+It also keeps per-status counters, which is how the dataset-statistics
+experiment reproduces the paper's breakdown of uncrawlable instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api.http import HTTPResponse, HTTPStatus
+from repro.api.server import FediverseAPIServer
+
+
+class APIError(Exception):
+    """Raised when a request returns a non-2xx status."""
+
+    def __init__(self, domain: str, path: str, status: HTTPStatus, message: str = "") -> None:
+        super().__init__(f"GET https://{domain}{path} -> {int(status)} {status.reason}")
+        self.domain = domain
+        self.path = path
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class ClientStats:
+    """Counters kept by the client across all requests."""
+
+    requests: int = 0
+    ok: int = 0
+    failed: int = 0
+    by_status: dict[int, int] = field(default_factory=dict)
+
+    def record(self, status: HTTPStatus) -> None:
+        """Update the counters for one response status."""
+        self.requests += 1
+        code = int(status)
+        self.by_status[code] = self.by_status.get(code, 0) + 1
+        if 200 <= code < 300:
+            self.ok += 1
+        else:
+            self.failed += 1
+
+
+class APIClient:
+    """GET JSON documents from instances of the simulated fediverse."""
+
+    def __init__(self, server: FediverseAPIServer) -> None:
+        self.server = server
+        self.stats = ClientStats()
+
+    def get(self, domain: str, path: str) -> HTTPResponse:
+        """Perform a GET and return the raw response (never raises)."""
+        response = self.server.get(domain, path)
+        self.stats.record(response.status)
+        return response
+
+    def get_json(self, domain: str, path: str) -> Any:
+        """Perform a GET and return the JSON body, raising :class:`APIError`."""
+        response = self.get(domain, path)
+        if not response.ok:
+            message = ""
+            if isinstance(response.body, dict):
+                message = str(response.body.get("error", ""))
+            raise APIError(domain, path, response.status, message)
+        return response.body
+
+    # ------------------------------------------------------------------ #
+    # Endpoint convenience wrappers (the three APIs the paper crawls)
+    # ------------------------------------------------------------------ #
+    def instance_metadata(self, domain: str) -> dict[str, Any]:
+        """Fetch ``/api/v1/instance``."""
+        return self.get_json(domain, "/api/v1/instance")
+
+    def instance_peers(self, domain: str) -> list[str]:
+        """Fetch ``/api/v1/instance/peers``."""
+        return self.get_json(domain, "/api/v1/instance/peers")
+
+    def public_timeline(
+        self,
+        domain: str,
+        local: bool = True,
+        limit: int = 40,
+        max_id: str | None = None,
+    ) -> list[dict[str, Any]]:
+        """Fetch one page of ``/api/v1/timelines/public``."""
+        query = f"?local={'true' if local else 'false'}&limit={limit}"
+        if max_id is not None:
+            query += f"&max_id={max_id}"
+        return self.get_json(domain, f"/api/v1/timelines/public{query}")
+
+    def nodeinfo(self, domain: str) -> dict[str, Any]:
+        """Fetch ``/nodeinfo/2.0``."""
+        return self.get_json(domain, "/nodeinfo/2.0")

@@ -1,0 +1,113 @@
+"""Minimal HTTP request/response objects for the in-process API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any
+from urllib.parse import parse_qsl, urlsplit
+
+
+class HTTPStatus(IntEnum):
+    """The status codes used by the simulated fediverse.
+
+    The non-200 codes are exactly those the paper reports for uncrawlable
+    instances (Section 3): 404 not found, 403 authorisation required,
+    502 bad gateway, 503 service unavailable and 410 gone.
+    """
+
+    OK = 200
+    BAD_REQUEST = 400
+    FORBIDDEN = 403
+    NOT_FOUND = 404
+    GONE = 410
+    TOO_MANY_REQUESTS = 429
+    INTERNAL_SERVER_ERROR = 500
+    BAD_GATEWAY = 502
+    SERVICE_UNAVAILABLE = 503
+
+    @property
+    def reason(self) -> str:
+        """Return the canonical reason phrase."""
+        return _REASONS[int(self)]
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    410: "Gone",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class HTTPRequest:
+    """A GET request addressed to one instance."""
+
+    domain: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_url(cls, domain: str, url: str, headers: dict[str, str] | None = None) -> "HTTPRequest":
+        """Build a request from a path-with-query string (e.g. ``/a/b?x=1``)."""
+        parts = urlsplit(url)
+        query = dict(parse_qsl(parts.query))
+        return cls(domain=domain, path=parts.path, query=query, headers=dict(headers or {}))
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        """Return one query parameter."""
+        return self.query.get(name, default)
+
+    def int_param(self, name: str, default: int) -> int:
+        """Return one query parameter parsed as an integer."""
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise ValueError(f"query parameter {name!r} is not an integer: {raw!r}") from exc
+
+    def bool_param(self, name: str, default: bool = False) -> bool:
+        """Return one query parameter parsed as a boolean."""
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        return raw.strip().lower() in ("1", "true", "yes", "on")
+
+
+@dataclass(frozen=True)
+class HTTPResponse:
+    """The response produced by the API server for one request."""
+
+    status: HTTPStatus
+    body: Any = None
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Return ``True`` for 2xx responses."""
+        return 200 <= int(self.status) < 300
+
+    def json(self) -> Any:
+        """Return the JSON body, raising on error responses."""
+        if not self.ok:
+            raise ValueError(f"cannot read body of a {int(self.status)} response")
+        return self.body
+
+    @classmethod
+    def json_ok(cls, body: Any) -> "HTTPResponse":
+        """Build a 200 response carrying a JSON body."""
+        return cls(status=HTTPStatus.OK, body=body)
+
+    @classmethod
+    def error(cls, status: HTTPStatus, message: str = "") -> "HTTPResponse":
+        """Build an error response with a standard error body."""
+        return cls(status=status, body={"error": message or status.reason})

@@ -1,0 +1,71 @@
+"""A small path router for the in-process API server."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.api.http import HTTPRequest, HTTPResponse, HTTPStatus
+
+#: A handler receives the request plus any path parameters.
+Handler = Callable[..., HTTPResponse]
+
+_PARAM_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+
+@dataclass(frozen=True)
+class Route:
+    """One registered route: a path pattern and its handler."""
+
+    pattern: str
+    regex: re.Pattern[str]
+    handler: Handler
+
+    def match(self, path: str) -> dict[str, str] | None:
+        """Return the path parameters when ``path`` matches, else ``None``."""
+        found = self.regex.fullmatch(path)
+        if found is None:
+            return None
+        return found.groupdict()
+
+
+def _compile_pattern(pattern: str) -> re.Pattern[str]:
+    """Convert ``/api/v1/accounts/{id}`` style patterns to a regex."""
+    regex = _PARAM_RE.sub(lambda m: f"(?P<{m.group(1)}>[^/]+)", re.escape(pattern).replace(r"\{", "{").replace(r"\}", "}"))
+    return re.compile(regex)
+
+
+class Router:
+    """Dispatch request paths to handlers."""
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def add(self, pattern: str, handler: Handler) -> None:
+        """Register ``handler`` for ``pattern`` (e.g. ``/api/v1/instance``)."""
+        self._routes.append(
+            Route(pattern=pattern, regex=_compile_pattern(pattern), handler=handler)
+        )
+
+    def route(self, pattern: str) -> Callable[[Handler], Handler]:
+        """Decorator form of :meth:`add`."""
+
+        def decorator(handler: Handler) -> Handler:
+            self.add(pattern, handler)
+            return handler
+
+        return decorator
+
+    @property
+    def patterns(self) -> list[str]:
+        """Return all registered path patterns."""
+        return [route.pattern for route in self._routes]
+
+    def dispatch(self, request: HTTPRequest) -> HTTPResponse:
+        """Find the matching route and invoke its handler."""
+        for route in self._routes:
+            params = route.match(request.path)
+            if params is not None:
+                return route.handler(request, **params)
+        return HTTPResponse.error(HTTPStatus.NOT_FOUND, f"no route for {request.path}")

@@ -1,0 +1,148 @@
+"""The API server: serves every instance of a registry over the in-process
+transport.
+
+One :class:`FediverseAPIServer` fronts an entire
+:class:`~repro.fediverse.registry.FediverseRegistry`.  A request names the
+instance domain it targets; the server first applies that instance's
+availability (so 404/403/502/503/410 instances fail exactly as they did for
+the paper's crawler) and then routes the request to the endpoint handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.http import HTTPRequest, HTTPResponse, HTTPStatus
+from repro.api.router import Router
+from repro.fediverse.errors import UnknownInstanceError
+from repro.fediverse.instance import Instance
+from repro.fediverse.registry import FediverseRegistry
+
+#: Default page size of the public timeline endpoint (Mastodon's default is
+#: 20, with a maximum of 40; Pleroma accepts larger pages).
+DEFAULT_TIMELINE_LIMIT = 20
+MAX_TIMELINE_LIMIT = 40
+
+
+class FediverseAPIServer:
+    """Serve the Mastodon/Pleroma public API for every registered instance."""
+
+    def __init__(self, registry: FediverseRegistry) -> None:
+        self.registry = registry
+        self.router = Router()
+        self.requests_served = 0
+        self._register_routes()
+
+    # ------------------------------------------------------------------ #
+    # Transport entry point
+    # ------------------------------------------------------------------ #
+    def handle(self, request: HTTPRequest) -> HTTPResponse:
+        """Handle one request addressed to one instance."""
+        self.requests_served += 1
+        try:
+            instance = self.registry.get(request.domain)
+        except UnknownInstanceError:
+            return HTTPResponse.error(HTTPStatus.NOT_FOUND, "unknown instance")
+
+        if not instance.availability.ok:
+            status = HTTPStatus(instance.availability.status_code)
+            return HTTPResponse.error(status, instance.availability.reason)
+
+        return self.router.dispatch(request)
+
+    def get(self, domain: str, url: str) -> HTTPResponse:
+        """Convenience wrapper: handle a GET described by a path-with-query."""
+        return self.handle(HTTPRequest.from_url(domain, url))
+
+    # ------------------------------------------------------------------ #
+    # Endpoint handlers
+    # ------------------------------------------------------------------ #
+    def _register_routes(self) -> None:
+        self.router.add("/api/v1/instance", self._instance_endpoint)
+        self.router.add("/api/v1/instance/peers", self._peers_endpoint)
+        self.router.add("/api/v1/timelines/public", self._public_timeline_endpoint)
+        self.router.add("/nodeinfo/2.0", self._nodeinfo_endpoint)
+        self.router.add("/api/v1/accounts/{username}", self._account_endpoint)
+        self.router.add("/api/v1/accounts/{username}/statuses", self._account_statuses_endpoint)
+
+    def _instance_for(self, request: HTTPRequest) -> Instance:
+        return self.registry.get(request.domain)
+
+    def _instance_endpoint(self, request: HTTPRequest) -> HTTPResponse:
+        """``/api/v1/instance``: metadata including the MRF configuration."""
+        instance = self._instance_for(request)
+        return HTTPResponse.json_ok(instance.to_api_dict())
+
+    def _peers_endpoint(self, request: HTTPRequest) -> HTTPResponse:
+        """``/api/v1/instance/peers``: every domain ever federated with."""
+        instance = self._instance_for(request)
+        return HTTPResponse.json_ok(sorted(instance.peers))
+
+    def _public_timeline_endpoint(self, request: HTTPRequest) -> HTTPResponse:
+        """``/api/v1/timelines/public``: the public (or whole-known-network) timeline."""
+        instance = self._instance_for(request)
+        if not instance.expose_public_timeline:
+            return HTTPResponse.error(
+                HTTPStatus.FORBIDDEN, "public timeline requires authentication"
+            )
+        local_only = request.bool_param("local", default=False)
+        try:
+            limit = request.int_param("limit", DEFAULT_TIMELINE_LIMIT)
+        except ValueError as exc:
+            return HTTPResponse.error(HTTPStatus.BAD_REQUEST, str(exc))
+        limit = max(1, min(limit, MAX_TIMELINE_LIMIT))
+        max_id = request.param("max_id")
+
+        timeline = (
+            instance.timelines.public if local_only else instance.timelines.whole_known_network
+        )
+        post_ids = timeline.latest(limit=limit, max_id=max_id)
+        statuses: list[dict[str, Any]] = []
+        for post_id in post_ids:
+            post = instance.get_post(post_id)
+            statuses.append(post.to_dict())
+        return HTTPResponse.json_ok(statuses)
+
+    def _nodeinfo_endpoint(self, request: HTTPRequest) -> HTTPResponse:
+        """``/nodeinfo/2.0``: software name/version and usage counts."""
+        instance = self._instance_for(request)
+        return HTTPResponse.json_ok(
+            {
+                "version": "2.0",
+                "software": {
+                    "name": instance.software.value,
+                    "version": instance.version,
+                },
+                "protocols": ["activitypub"],
+                "openRegistrations": instance.registrations_open,
+                "usage": {
+                    "users": {"total": instance.user_count},
+                    "localPosts": instance.local_post_count,
+                },
+                "metadata": {
+                    "federation": instance.describe_mrf() if instance.is_pleroma else {},
+                },
+            }
+        )
+
+    def _account_endpoint(self, request: HTTPRequest, username: str) -> HTTPResponse:
+        """``/api/v1/accounts/{username}``: a single local account."""
+        instance = self._instance_for(request)
+        if not instance.has_user(username):
+            return HTTPResponse.error(HTTPStatus.NOT_FOUND, f"unknown account: {username}")
+        return HTTPResponse.json_ok(instance.get_user(username).to_dict())
+
+    def _account_statuses_endpoint(self, request: HTTPRequest, username: str) -> HTTPResponse:
+        """``/api/v1/accounts/{username}/statuses``: a user's local posts."""
+        instance = self._instance_for(request)
+        if not instance.has_user(username):
+            return HTTPResponse.error(HTTPStatus.NOT_FOUND, f"unknown account: {username}")
+        user = instance.get_user(username)
+        try:
+            limit = request.int_param("limit", DEFAULT_TIMELINE_LIMIT)
+        except ValueError as exc:
+            return HTTPResponse.error(HTTPStatus.BAD_REQUEST, str(exc))
+        statuses = []
+        for post_id in reversed(user.post_ids[-max(1, limit):]):
+            statuses.append(instance.get_post(post_id).to_dict())
+        return HTTPResponse.json_ok(statuses)

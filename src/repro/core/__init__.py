@@ -1,0 +1,59 @@
+"""The paper's analysis: policy prevalence, rejects, collateral damage.
+
+This package implements the analytical contribution of the paper on top of
+the crawled :class:`~repro.datasets.store.Dataset`:
+
+* :mod:`repro.core.policy_analysis` — which policies instances enable, how
+  many instances/users/posts they cover (Figures 1 and 7, Table 3, and the
+  Section 4.1 impact scalars);
+* :mod:`repro.core.simplepolicy_analysis` — the per-action breakdown of the
+  SimplePolicy (Figures 2 and 3);
+* :mod:`repro.core.reject_analysis` — who gets rejected and by whom
+  (Figures 4 and 5, Table 1, the Section 4.2 scalars);
+* :mod:`repro.core.harmfulness` — Perspective-based labelling of posts,
+  users and instances (Section 3's harmful classification);
+* :mod:`repro.core.collateral` — the collateral-damage quantification
+  (Section 5, Figure 6, Table 2);
+* :mod:`repro.core.annotation` — the categorical annotation of rejected
+  instances (Section 4.2, "Why are instances blocked?");
+* :mod:`repro.core.federation_graph` — the federation-graph impact of
+  rejects (Section 6);
+* :mod:`repro.core.solutions` — the Section 7 strawman policies and their
+  evaluation.
+"""
+
+from repro.core.policy_analysis import PolicyPrevalence, PolicyAnalyzer, PolicyImpact
+from repro.core.simplepolicy_analysis import ActionBreakdown, SimplePolicyAnalyzer
+from repro.core.reject_analysis import RejectAnalyzer, RejectedInstance, RejectSummary
+from repro.core.harmfulness import HarmfulnessLabeller, InstanceScores, UserLabel
+from repro.core.collateral import CollateralAnalyzer, CollateralSummary
+from repro.core.annotation import InstanceAnnotator, AnnotationSummary
+from repro.core.federation_graph import FederationGraphAnalyzer, GraphImpact
+from repro.core.solutions import (
+    ModerationStrategy,
+    SolutionEvaluator,
+    StrategyOutcome,
+)
+
+__all__ = [
+    "PolicyPrevalence",
+    "PolicyAnalyzer",
+    "PolicyImpact",
+    "ActionBreakdown",
+    "SimplePolicyAnalyzer",
+    "RejectAnalyzer",
+    "RejectedInstance",
+    "RejectSummary",
+    "HarmfulnessLabeller",
+    "InstanceScores",
+    "UserLabel",
+    "CollateralAnalyzer",
+    "CollateralSummary",
+    "InstanceAnnotator",
+    "AnnotationSummary",
+    "FederationGraphAnalyzer",
+    "GraphImpact",
+    "ModerationStrategy",
+    "SolutionEvaluator",
+    "StrategyOutcome",
+]

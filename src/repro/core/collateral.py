@@ -1,0 +1,205 @@
+"""Collateral-damage quantification (Section 5, Figure 6, Table 2).
+
+The question: of all the users blocked because their instance received a
+``reject``, how many actually post harmful content?  The paper finds only
+4.2% do at the 0.8 Perspective threshold — i.e. 95.8% of blocked users are
+"innocent" collateral damage — and shows the result is robust across
+thresholds (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.harmfulness import HarmfulnessLabeller, UserLabel
+from repro.datasets.store import Dataset
+from repro.perspective.attributes import Attribute, HARMFUL_THRESHOLD
+
+
+@dataclass
+class InstanceCollateral:
+    """The Figure 6 bar for one rejected instance."""
+
+    domain: str
+    toxic_users: int = 0
+    profane_users: int = 0
+    sexually_explicit_users: int = 0
+    harmful_users: int = 0
+    non_harmful_users: int = 0
+
+    @property
+    def labelled_users(self) -> int:
+        """Return how many users on the instance were labelled."""
+        return self.harmful_users + self.non_harmful_users
+
+    def as_row(self) -> dict[str, object]:
+        """Return the instance as a flat table row."""
+        return {
+            "domain": self.domain,
+            "toxic": self.toxic_users,
+            "profane": self.profane_users,
+            "sexually_explicit": self.sexually_explicit_users,
+            "harmful": self.harmful_users,
+            "non_harmful": self.non_harmful_users,
+        }
+
+
+@dataclass
+class CollateralSummary:
+    """The Section 5 scalars."""
+
+    threshold: float = HARMFUL_THRESHOLD
+    rejected_pleroma_instances: int = 0
+    rejected_with_posts: int = 0
+    rejected_with_posts_share: float = 0.0
+    single_user_instances: int = 0
+    single_user_share: float = 0.0
+    analysed_instances: int = 0
+    labelled_users: int = 0
+    labelled_posts: int = 0
+    harmful_users: int = 0
+    harmful_user_share: float = 0.0
+    non_harmful_user_share: float = 0.0
+    harmful_posts: int = 0
+    harmful_post_ratio: float = 0.0
+    attribute_shares: dict[str, float] = field(default_factory=dict)
+    per_instance: list[InstanceCollateral] = field(default_factory=list)
+
+
+class CollateralAnalyzer:
+    """Quantify collateral damage on rejected Pleroma instances."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        labeller: HarmfulnessLabeller | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.labeller = labeller or HarmfulnessLabeller(dataset)
+        self._pleroma_domains = {
+            record.domain for record in dataset.pleroma_instances()
+        }
+        self._label_cache: dict[str, list[UserLabel]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Scope: rejected Pleroma instances with collected posts, multi-user
+    # ------------------------------------------------------------------ #
+    def rejected_pleroma_domains(self) -> list[str]:
+        """Return every rejected Pleroma domain."""
+        return [
+            domain
+            for domain in self.dataset.rejected_domains()
+            if domain in self._pleroma_domains
+        ]
+
+    def domains_with_posts(self) -> list[str]:
+        """Return rejected Pleroma domains for which posts were collected."""
+        return [
+            domain
+            for domain in self.rejected_pleroma_domains()
+            if self.dataset.posts_from(domain)
+        ]
+
+    def analysed_domains(self) -> list[str]:
+        """Return the domains entering the collateral analysis.
+
+        Following the paper, single-user instances are excluded: a single
+        harmful admin-owner is not collateral damage.
+        """
+        domains = []
+        for domain in self.domains_with_posts():
+            labels = self._labels_for(domain)
+            if len(labels) > 1:
+                domains.append(domain)
+        return domains
+
+    def _labels_for(self, domain: str) -> list[UserLabel]:
+        if domain not in self._label_cache:
+            self._label_cache[domain] = self.labeller.label_users_on(domain)
+        return self._label_cache[domain]
+
+    # ------------------------------------------------------------------ #
+    # Figure 6: per-instance user labels
+    # ------------------------------------------------------------------ #
+    def per_instance_breakdown(
+        self, threshold: float = HARMFUL_THRESHOLD
+    ) -> list[InstanceCollateral]:
+        """Return the Figure 6 stacked bars, sorted by labelled users."""
+        rows = []
+        for domain in self.analysed_domains():
+            labels = self._labels_for(domain)
+            row = InstanceCollateral(domain=domain)
+            for label in labels:
+                attributes = label.harmful_attributes(threshold)
+                if attributes:
+                    row.harmful_users += 1
+                    if Attribute.TOXICITY in attributes:
+                        row.toxic_users += 1
+                    if Attribute.PROFANITY in attributes:
+                        row.profane_users += 1
+                    if Attribute.SEXUALLY_EXPLICIT in attributes:
+                        row.sexually_explicit_users += 1
+                else:
+                    row.non_harmful_users += 1
+            rows.append(row)
+        rows.sort(key=lambda row: (-row.labelled_users, row.domain))
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Section 5 scalars + Table 2 threshold sweep
+    # ------------------------------------------------------------------ #
+    def summary(self, threshold: float = HARMFUL_THRESHOLD) -> CollateralSummary:
+        """Compute the Section 5 collateral-damage summary."""
+        summary = CollateralSummary(threshold=threshold)
+        rejected = self.rejected_pleroma_domains()
+        with_posts = self.domains_with_posts()
+        summary.rejected_pleroma_instances = len(rejected)
+        summary.rejected_with_posts = len(with_posts)
+        summary.rejected_with_posts_share = (
+            len(with_posts) / len(rejected) if rejected else 0.0
+        )
+        single_user = [
+            domain for domain in with_posts if len(self._labels_for(domain)) == 1
+        ]
+        summary.single_user_instances = len(single_user)
+        summary.single_user_share = (
+            len(single_user) / len(with_posts) if with_posts else 0.0
+        )
+
+        summary.per_instance = self.per_instance_breakdown(threshold)
+        summary.analysed_instances = len(summary.per_instance)
+
+        attribute_counts = {attribute.value: 0 for attribute in Attribute}
+        for domain in self.analysed_domains():
+            for label in self._labels_for(domain):
+                summary.labelled_users += 1
+                summary.labelled_posts += label.post_count
+                summary.harmful_posts += label.harmful_post_count
+                attributes = label.harmful_attributes(threshold)
+                if attributes:
+                    summary.harmful_users += 1
+                    for attribute in attributes:
+                        attribute_counts[attribute.value] += 1
+
+        if summary.labelled_users:
+            summary.harmful_user_share = summary.harmful_users / summary.labelled_users
+            summary.non_harmful_user_share = 1.0 - summary.harmful_user_share
+        non_harmful_posts = summary.labelled_posts - summary.harmful_posts
+        summary.harmful_post_ratio = (
+            summary.harmful_posts / non_harmful_posts if non_harmful_posts else 0.0
+        )
+        if summary.harmful_users:
+            summary.attribute_shares = {
+                name: count / summary.harmful_users
+                for name, count in attribute_counts.items()
+            }
+        return summary
+
+    def threshold_sweep(
+        self, thresholds: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9)
+    ) -> dict[float, float]:
+        """Return the Table 2 sweep: threshold -> non-harmful user share."""
+        sweep = {}
+        for threshold in thresholds:
+            sweep[threshold] = self.summary(threshold).non_harmful_user_share
+        return sweep

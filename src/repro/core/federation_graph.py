@@ -1,0 +1,152 @@
+"""Federation-graph impact of rejects (Section 6).
+
+The paper argues that a ``reject`` can have far-reaching effects on the
+instance-level social graph: if an instance relies on another to reach part
+of the network, being rejected can cut it off from whole regions of the
+fediverse.  This module builds the federation graph from the crawled peer
+lists, overlays the reject edges, and quantifies that loss of reachability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.datasets.store import Dataset
+
+
+@dataclass
+class GraphImpact:
+    """Reachability impact of the observed reject edges."""
+
+    nodes: int = 0
+    federation_edges: int = 0
+    reject_edges: int = 0
+    baseline_reachable_pairs: int = 0
+    post_reject_reachable_pairs: int = 0
+    components_before: int = 0
+    components_after: int = 0
+    #: domain -> fraction of previously reachable instances lost to rejects.
+    reachability_loss: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def pair_loss_share(self) -> float:
+        """Return the overall share of reachable instance pairs lost."""
+        if not self.baseline_reachable_pairs:
+            return 0.0
+        lost = self.baseline_reachable_pairs - self.post_reject_reachable_pairs
+        return lost / self.baseline_reachable_pairs
+
+    def most_affected(self, limit: int = 10) -> list[tuple[str, float]]:
+        """Return the instances losing the largest share of the network."""
+        ranked = sorted(self.reachability_loss.items(), key=lambda item: -item[1])
+        return ranked[:limit]
+
+
+class FederationGraphAnalyzer:
+    """Build and analyse the instance-level federation graph."""
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+
+    # ------------------------------------------------------------------ #
+    # Graph construction
+    # ------------------------------------------------------------------ #
+    def federation_graph(self) -> nx.Graph:
+        """Return the undirected federation graph from crawled peer lists."""
+        graph = nx.Graph()
+        for record in self.dataset.all_instances():
+            graph.add_node(record.domain, software=record.software)
+        for record in self.dataset.all_instances():
+            for peer in record.peers:
+                if peer != record.domain:
+                    graph.add_edge(record.domain, peer)
+        return graph
+
+    def reject_graph(self) -> nx.DiGraph:
+        """Return the directed reject graph (source rejects target)."""
+        graph = nx.DiGraph()
+        for edge in self.dataset.edges_by_action("reject"):
+            graph.add_edge(edge.source, edge.target)
+        return graph
+
+    def graph_without_rejected_links(self) -> nx.Graph:
+        """Return the federation graph with rejected federation links removed.
+
+        A reject severs the link between the rejecting and the rejected
+        instance: content no longer flows between them.
+        """
+        graph = self.federation_graph()
+        for edge in self.dataset.edges_by_action("reject"):
+            if graph.has_edge(edge.source, edge.target):
+                graph.remove_edge(edge.source, edge.target)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Impact analysis
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _reachable_pairs(graph: nx.Graph) -> int:
+        """Return the number of ordered reachable pairs in ``graph``."""
+        total = 0
+        for component in nx.connected_components(graph):
+            size = len(component)
+            total += size * (size - 1)
+        return total
+
+    def impact(self, per_instance_limit: int | None = 200) -> GraphImpact:
+        """Quantify the reachability lost to the observed rejects.
+
+        ``per_instance_limit`` caps how many rejected instances get an
+        individual reachability-loss figure (the per-instance computation is
+        the expensive part on large graphs).
+        """
+        before = self.federation_graph()
+        after = self.graph_without_rejected_links()
+
+        impact = GraphImpact(
+            nodes=before.number_of_nodes(),
+            federation_edges=before.number_of_edges(),
+            reject_edges=len(self.dataset.edges_by_action("reject")),
+            baseline_reachable_pairs=self._reachable_pairs(before),
+            post_reject_reachable_pairs=self._reachable_pairs(after),
+            components_before=nx.number_connected_components(before),
+            components_after=nx.number_connected_components(after),
+        )
+
+        rejected = self.dataset.rejected_domains()
+        if per_instance_limit is not None:
+            rejected = rejected[:per_instance_limit]
+        for domain in rejected:
+            if domain not in before:
+                continue
+            reachable_before = len(nx.node_connected_component(before, domain)) - 1
+            reachable_after = (
+                len(nx.node_connected_component(after, domain)) - 1
+                if domain in after
+                else 0
+            )
+            if reachable_before <= 0:
+                impact.reachability_loss[domain] = 0.0
+            else:
+                impact.reachability_loss[domain] = (
+                    (reachable_before - reachable_after) / reachable_before
+                )
+        return impact
+
+    # ------------------------------------------------------------------ #
+    # Centrality helpers (used by the graph-impact experiment)
+    # ------------------------------------------------------------------ #
+    def degree_centrality(self, top: int = 10) -> list[tuple[str, float]]:
+        """Return the ``top`` most connected instances."""
+        graph = self.federation_graph()
+        centrality = nx.degree_centrality(graph)
+        ranked = sorted(centrality.items(), key=lambda item: -item[1])
+        return ranked[:top]
+
+    def most_rejecting_instances(self, top: int = 10) -> list[tuple[str, int]]:
+        """Return the instances applying the most rejects."""
+        graph = self.reject_graph()
+        ranked = sorted(graph.out_degree(), key=lambda item: -item[1])
+        return [(domain, int(degree)) for domain, degree in ranked[:top]]

@@ -1,0 +1,123 @@
+"""The SimplePolicy action breakdown (Figures 2 and 3).
+
+Figure 2 counts, for each SimplePolicy action, how many instances are
+*targeted* by it (split into Pleroma and non-Pleroma) plus the users on the
+targeted Pleroma instances.  Figure 3 counts how many instances *apply* each
+action, again with the users on the instances they target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.store import Dataset
+from repro.mrf.simple import SimplePolicyAction
+
+
+@dataclass(frozen=True)
+class ActionBreakdown:
+    """Usage of one SimplePolicy action across the federation."""
+
+    action: str
+    targeting_instances: int
+    targeted_instances: int
+    targeted_pleroma: int
+    targeted_non_pleroma: int
+    users_on_targeted_pleroma: int
+
+    def as_row(self) -> dict[str, object]:
+        """Return the breakdown as a flat table row."""
+        return {
+            "action": self.action,
+            "targeting_instances": self.targeting_instances,
+            "targeted_instances": self.targeted_instances,
+            "targeted_pleroma": self.targeted_pleroma,
+            "targeted_non_pleroma": self.targeted_non_pleroma,
+            "users_on_targeted_pleroma": self.users_on_targeted_pleroma,
+        }
+
+
+class SimplePolicyAnalyzer:
+    """Analyse SimplePolicy usage over a crawled dataset."""
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+        self._pleroma_domains = {record.domain for record in dataset.pleroma_instances()}
+        self._user_counts = {
+            record.domain: record.user_count for record in dataset.pleroma_instances()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Scope
+    # ------------------------------------------------------------------ #
+    def instances_with_simplepolicy(self) -> list[str]:
+        """Return the domains that enable the SimplePolicy."""
+        return self.dataset.instances_with_policy("SimplePolicy")
+
+    def reject_adoption_share(self) -> float:
+        """Return the share of SimplePolicy instances using the reject action
+        (paper: 73%)."""
+        enabled = set(self.instances_with_simplepolicy())
+        if not enabled:
+            return 0.0
+        rejecting = {
+            edge.source for edge in self.dataset.edges_by_action("reject")
+        } & enabled
+        return len(rejecting) / len(enabled)
+
+    # ------------------------------------------------------------------ #
+    # Per-action breakdown
+    # ------------------------------------------------------------------ #
+    def action_breakdown(self, action: str) -> ActionBreakdown:
+        """Return the Figure 2/3 numbers for one action."""
+        edges = self.dataset.edges_by_action(action)
+        sources = {edge.source for edge in edges}
+        targets = {edge.target for edge in edges}
+        targeted_pleroma = {t for t in targets if t in self._pleroma_domains}
+        users = sum(self._user_counts.get(domain, 0) for domain in targeted_pleroma)
+        return ActionBreakdown(
+            action=action,
+            targeting_instances=len(sources),
+            targeted_instances=len(targets),
+            targeted_pleroma=len(targeted_pleroma),
+            targeted_non_pleroma=len(targets) - len(targeted_pleroma),
+            users_on_targeted_pleroma=users,
+        )
+
+    def full_breakdown(self) -> list[ActionBreakdown]:
+        """Return the breakdown for every SimplePolicy action.
+
+        Sorted by the number of targeted instances, which is the order the
+        paper's Figure 2 uses.
+        """
+        rows = [
+            self.action_breakdown(action.value) for action in SimplePolicyAction
+        ]
+        rows.sort(key=lambda row: (-row.targeted_instances, row.action))
+        return rows
+
+    def action_event_shares(self) -> dict[str, float]:
+        """Return each action's share of all moderation events.
+
+        The paper reports reject making up 62.8% of moderation events with
+        the other nine actions sharing the remaining 37.2%.
+        """
+        total = len(self.dataset.reject_edges)
+        if not total:
+            return {}
+        shares: dict[str, float] = {}
+        for action in SimplePolicyAction:
+            count = len(self.dataset.edges_by_action(action.value))
+            shares[action.value] = count / total
+        return shares
+
+    def media_removal_user_share(self) -> float:
+        """Return the share of users on instances targeted by media_removal
+        (paper: 23.3%)."""
+        total_users = sum(
+            record.user_count for record in self.dataset.reachable_pleroma_instances()
+        )
+        if not total_users:
+            return 0.0
+        breakdown = self.action_breakdown("media_removal")
+        return breakdown.users_on_targeted_pleroma / total_users

@@ -1,0 +1,196 @@
+"""The measurement campaign: the paper's Section 3 methodology end-to-end.
+
+A campaign discovers instances through a directory, expands the instance set
+through the Peers API, snapshots every Pleroma instance's metadata on a
+fixed interval over the campaign window (four hours in the paper), collects
+public timelines, and finally assembles the analysis dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api.client import APIClient, APIError
+from repro.api.server import FediverseAPIServer
+from repro.crawler.builder import build_dataset
+from repro.crawler.crawler import InstanceCrawler, TimelineCrawler
+from repro.crawler.directory import InstanceDirectory
+from repro.crawler.snapshots import CrawlFailure, InstanceSnapshot, TimelineCollection
+from repro.datasets.store import Dataset
+from repro.fediverse.registry import FediverseRegistry
+
+
+@dataclass
+class CampaignConfig:
+    """Parameters of one measurement campaign."""
+
+    #: Length of the campaign window, in days (paper: ~129 days).
+    duration_days: float = 14.0
+    #: Metadata snapshot interval, in hours (paper: 4 hours).
+    snapshot_interval_hours: float = 4.0
+    #: Page size used against the Timeline API.
+    timeline_page_size: int = 40
+    #: Cap on posts collected per instance (``None`` = collect everything).
+    max_posts_per_instance: int | None = None
+    #: Directory coverage of the Pleroma instance population.
+    directory_coverage: float = 0.95
+    #: Whether to keep every snapshot (memory-heavy) or only the latest.
+    keep_all_snapshots: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+        if self.snapshot_interval_hours <= 0:
+            raise ValueError("snapshot_interval_hours must be positive")
+
+    @property
+    def snapshot_rounds(self) -> int:
+        """Return how many snapshot rounds the window contains."""
+        return max(1, int(self.duration_days * 24 / self.snapshot_interval_hours))
+
+
+@dataclass
+class CrawlResult:
+    """Everything a campaign produces."""
+
+    dataset: Dataset
+    latest_snapshots: dict[str, InstanceSnapshot] = field(default_factory=dict)
+    snapshot_counts: dict[str, int] = field(default_factory=dict)
+    all_snapshots: list[InstanceSnapshot] = field(default_factory=list)
+    timelines: list[TimelineCollection] = field(default_factory=list)
+    failures: list[CrawlFailure] = field(default_factory=list)
+    discovered_domains: set[str] = field(default_factory=set)
+    pleroma_domains: set[str] = field(default_factory=set)
+    api_requests: int = 0
+
+    @property
+    def crawlable_pleroma(self) -> int:
+        """Return how many Pleroma instances answered the metadata API."""
+        return len(self.latest_snapshots)
+
+    @property
+    def failure_status_breakdown(self) -> dict[int, int]:
+        """Return counts of the final failure status per uncrawlable domain."""
+        last: dict[str, int] = {}
+        for failure in self.failures:
+            last[failure.domain] = failure.status_code
+        breakdown: dict[int, int] = {}
+        for domain, status in last.items():
+            if domain in self.latest_snapshots:
+                continue
+            breakdown[status] = breakdown.get(status, 0) + 1
+        return breakdown
+
+
+class MeasurementCampaign:
+    """Run the full Section-3 measurement over a simulated fediverse."""
+
+    def __init__(
+        self,
+        registry: FediverseRegistry,
+        config: CampaignConfig | None = None,
+        server: FediverseAPIServer | None = None,
+        directory: InstanceDirectory | None = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config or CampaignConfig()
+        self.server = server or FediverseAPIServer(registry)
+        self.client = APIClient(self.server)
+        self.directory = directory or InstanceDirectory(
+            registry, coverage=self.config.directory_coverage
+        )
+        self.instance_crawler = InstanceCrawler(self.client)
+        self.timeline_crawler = TimelineCrawler(
+            self.client, page_size=self.config.timeline_page_size
+        )
+
+    # ------------------------------------------------------------------ #
+    # Campaign phases
+    # ------------------------------------------------------------------ #
+    def discover(self) -> tuple[set[str], set[str]]:
+        """Phase 1: discover Pleroma instances and every peer they name.
+
+        Returns ``(pleroma_domains, all_known_domains)``.
+        """
+        pleroma_domains = set(self.directory.pleroma_instances())
+        all_domains: set[str] = set(pleroma_domains)
+        for domain in sorted(pleroma_domains):
+            try:
+                peers = self.client.instance_peers(domain)
+            except APIError:
+                continue
+            all_domains.update(peers)
+        return pleroma_domains, all_domains
+
+    def snapshot_round(
+        self, pleroma_domains: set[str], now: float, fetch_peers: bool
+    ) -> dict[str, InstanceSnapshot]:
+        """Phase 2 (one round): snapshot every Pleroma instance's metadata."""
+        snapshots: dict[str, InstanceSnapshot] = {}
+        for domain in sorted(pleroma_domains):
+            snapshot = self.instance_crawler.snapshot(domain, now, fetch_peers=fetch_peers)
+            if snapshot is not None:
+                snapshots[domain] = snapshot
+        return snapshots
+
+    def collect_timelines(
+        self, domains: set[str], now: float
+    ) -> list[TimelineCollection]:
+        """Phase 3: collect public posts from every reachable instance."""
+        collections = []
+        for domain in sorted(domains):
+            collections.append(
+                self.timeline_crawler.collect(
+                    domain,
+                    now,
+                    local_only=True,
+                    max_posts=self.config.max_posts_per_instance,
+                )
+            )
+        return collections
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def run(self) -> CrawlResult:
+        """Run discovery, the snapshot rounds, timeline collection and build
+        the dataset."""
+        clock = self.registry.clock
+        result = CrawlResult(dataset=Dataset())
+
+        pleroma_domains, all_domains = self.discover()
+        result.pleroma_domains = pleroma_domains
+        result.discovered_domains = all_domains
+
+        first_seen: dict[str, float] = {}
+        interval = self.config.snapshot_interval_hours * 3600.0
+        for round_index in range(self.config.snapshot_rounds):
+            now = clock.now()
+            # Peer lists are large and barely change; fetching them on the
+            # first round only mirrors how the paper's crawler was run.
+            fetch_peers = round_index == 0
+            snapshots = self.snapshot_round(pleroma_domains, now, fetch_peers)
+            for domain, snapshot in snapshots.items():
+                first_seen.setdefault(domain, now)
+                previous = result.latest_snapshots.get(domain)
+                if previous is not None and not snapshot.peers:
+                    snapshot.peers = previous.peers
+                result.latest_snapshots[domain] = snapshot
+                result.snapshot_counts[domain] = result.snapshot_counts.get(domain, 0) + 1
+                if self.config.keep_all_snapshots:
+                    result.all_snapshots.append(snapshot)
+            clock.advance(interval)
+
+        result.timelines = self.collect_timelines(set(result.latest_snapshots), clock.now())
+        result.failures = list(self.instance_crawler.failures)
+        result.api_requests = self.client.stats.requests
+
+        result.dataset = build_dataset(
+            snapshots=result.latest_snapshots,
+            timelines=result.timelines,
+            failures=result.failures,
+            snapshot_counts=result.snapshot_counts,
+            first_seen=first_seen,
+            discovered_domains=result.discovered_domains,
+        )
+        return result

@@ -1,0 +1,160 @@
+"""Per-instance crawling primitives.
+
+:class:`InstanceCrawler` snapshots instance metadata (the paper does this
+every four hours); :class:`TimelineCrawler` pages through the public
+Timeline API to collect posts.  Both work purely through
+:class:`~repro.api.client.APIClient` and record failures rather than raising,
+because the campaign must keep going when individual instances are down.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.client import APIClient, APIError
+from repro.crawler.snapshots import CrawlFailure, InstanceSnapshot, TimelineCollection
+
+
+def _parse_software(payload: dict[str, Any]) -> str:
+    """Infer the server software from an ``/api/v1/instance`` payload."""
+    if "pleroma" in payload:
+        return "pleroma"
+    version = str(payload.get("version", "")).lower()
+    for candidate in ("pleroma", "mastodon", "misskey", "peertube", "hubzilla", "writefreely"):
+        if candidate in version:
+            return candidate
+    return "unknown"
+
+
+def _parse_pleroma_version(payload: dict[str, Any]) -> str:
+    """Extract the Pleroma version from the compatibility version string."""
+    version = str(payload.get("version", ""))
+    marker = "Pleroma "
+    if marker in version:
+        return version.split(marker, 1)[1].rstrip(") ")
+    return version
+
+
+class InstanceCrawler:
+    """Snapshot instance metadata and peer lists through the public API."""
+
+    def __init__(self, client: APIClient) -> None:
+        self.client = client
+        self.failures: list[CrawlFailure] = []
+
+    def snapshot(self, domain: str, now: float, fetch_peers: bool = True) -> InstanceSnapshot | None:
+        """Snapshot one instance; return ``None`` (and record) on failure."""
+        try:
+            payload = self.client.instance_metadata(domain)
+        except APIError as error:
+            self.failures.append(
+                CrawlFailure(
+                    domain=domain,
+                    timestamp=now,
+                    status_code=int(error.status),
+                    reason=error.message,
+                )
+            )
+            return None
+
+        stats = payload.get("stats", {})
+        software = _parse_software(payload)
+        if software == "unknown":
+            # Mastodon-style instances expose their software name only
+            # through nodeinfo, which is how the paper's crawler classified
+            # non-Pleroma servers.
+            software = self._software_from_nodeinfo(domain)
+        snapshot = InstanceSnapshot(
+            domain=domain,
+            timestamp=now,
+            software=software,
+            version=_parse_pleroma_version(payload),
+            user_count=int(stats.get("user_count", 0)),
+            status_count=int(stats.get("status_count", 0)),
+            peer_count=int(stats.get("domain_count", 0)),
+            registrations_open=bool(payload.get("registrations", False)),
+        )
+        self._attach_mrf(snapshot, payload)
+        if fetch_peers:
+            snapshot.peers = self._fetch_peers(domain, now)
+        return snapshot
+
+    def _software_from_nodeinfo(self, domain: str) -> str:
+        """Resolve the server software through nodeinfo, defaulting to unknown."""
+        try:
+            payload = self.client.nodeinfo(domain)
+        except APIError:
+            return "unknown"
+        return str(payload.get("software", {}).get("name", "unknown")) or "unknown"
+
+    def _attach_mrf(self, snapshot: InstanceSnapshot, payload: dict[str, Any]) -> None:
+        """Populate the snapshot's MRF fields from the metadata payload."""
+        federation = (
+            payload.get("pleroma", {}).get("metadata", {}).get("federation", {})
+        )
+        if not federation or not federation.get("exposable", False):
+            snapshot.policies_exposed = False
+            return
+        snapshot.policies_exposed = True
+        snapshot.enabled_policies = tuple(federation.get("mrf_policies", ()))
+        snapshot.mrf_simple = {
+            action: list(targets)
+            for action, targets in federation.get("mrf_simple", {}).items()
+        }
+        snapshot.mrf_object_age = dict(federation.get("mrf_object_age", {}))
+
+    def _fetch_peers(self, domain: str, now: float) -> tuple[str, ...]:
+        """Fetch the peer list, tolerating failures."""
+        try:
+            return tuple(self.client.instance_peers(domain))
+        except APIError as error:
+            self.failures.append(
+                CrawlFailure(
+                    domain=domain,
+                    timestamp=now,
+                    status_code=int(error.status),
+                    reason=f"peers: {error.message}",
+                )
+            )
+            return ()
+
+
+class TimelineCrawler:
+    """Collect public posts by paging through the Timeline API."""
+
+    def __init__(self, client: APIClient, page_size: int = 40) -> None:
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.client = client
+        self.page_size = page_size
+
+    def collect(
+        self,
+        domain: str,
+        now: float,
+        local_only: bool = True,
+        max_posts: int | None = None,
+    ) -> TimelineCollection:
+        """Collect up to ``max_posts`` public posts from ``domain``."""
+        collection = TimelineCollection(domain=domain, timestamp=now)
+        max_id: str | None = None
+        while True:
+            try:
+                page = self.client.public_timeline(
+                    domain, local=local_only, limit=self.page_size, max_id=max_id
+                )
+            except APIError as error:
+                collection.reachable = False
+                collection.status_code = int(error.status)
+                break
+            collection.pages_fetched += 1
+            if not page:
+                break
+            collection.posts.extend(page)
+            max_id = page[-1]["id"]
+            if max_posts is not None and len(collection.posts) >= max_posts:
+                collection.posts = collection.posts[:max_posts]
+                break
+            if len(page) < self.page_size:
+                break
+        return collection

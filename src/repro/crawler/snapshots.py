@@ -1,0 +1,69 @@
+"""Records produced by the crawler: snapshots, failures, timeline pulls."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class CrawlFailure:
+    """A failed request against one instance."""
+
+    domain: str
+    timestamp: float
+    status_code: int
+    reason: str = ""
+
+
+@dataclass
+class InstanceSnapshot:
+    """One 4-hourly metadata snapshot of one instance.
+
+    Mirrors what ``/api/v1/instance`` exposes: usage statistics plus (on
+    Pleroma) the MRF configuration under ``pleroma.metadata.federation``.
+    """
+
+    domain: str
+    timestamp: float
+    software: str = "unknown"
+    version: str = ""
+    user_count: int = 0
+    status_count: int = 0
+    peer_count: int = 0
+    registrations_open: bool = False
+    policies_exposed: bool = False
+    enabled_policies: tuple[str, ...] = ()
+    mrf_simple: dict[str, list[str]] = field(default_factory=dict)
+    mrf_object_age: dict[str, Any] = field(default_factory=dict)
+    peers: tuple[str, ...] = ()
+
+    @property
+    def is_pleroma(self) -> bool:
+        """Return ``True`` when the snapshot comes from a Pleroma instance."""
+        return self.software == "pleroma"
+
+    def simple_policy_edges(self) -> list[tuple[str, str, str]]:
+        """Return (source, target, action) triples from the mrf_simple block."""
+        edges = []
+        for action, targets in self.mrf_simple.items():
+            for target in targets:
+                edges.append((self.domain, target, action))
+        return edges
+
+
+@dataclass
+class TimelineCollection:
+    """The public posts collected from one instance."""
+
+    domain: str
+    timestamp: float
+    reachable: bool = True
+    status_code: int = 200
+    posts: list[dict[str, Any]] = field(default_factory=list)
+    pages_fetched: int = 0
+
+    @property
+    def post_count(self) -> int:
+        """Return how many posts were collected."""
+        return len(self.posts)

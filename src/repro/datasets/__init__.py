@@ -1,0 +1,43 @@
+"""Dataset schema and storage shared by the crawler and the analysis.
+
+The paper's analysis works on a crawled dataset: instance metadata snapshots
+(including MRF policy settings), the peer graph, user accounts and public
+posts.  This package defines flat record types for each of those, a
+:class:`~repro.datasets.store.Dataset` container with the lookups the
+analysis needs, and JSON/CSV import/export so a crawl can be saved and
+reloaded.
+"""
+
+from repro.datasets.schema import (
+    InstanceRecord,
+    PolicySettingRecord,
+    PostRecord,
+    RejectEdge,
+    UserRecord,
+)
+from repro.datasets.store import Dataset
+from repro.datasets.export import (
+    dataset_from_dict,
+    dataset_from_json,
+    dataset_to_dict,
+    dataset_to_json,
+    load_dataset,
+    save_dataset,
+    write_csv_tables,
+)
+
+__all__ = [
+    "InstanceRecord",
+    "PolicySettingRecord",
+    "PostRecord",
+    "RejectEdge",
+    "UserRecord",
+    "Dataset",
+    "dataset_from_dict",
+    "dataset_from_json",
+    "dataset_to_dict",
+    "dataset_to_json",
+    "load_dataset",
+    "save_dataset",
+    "write_csv_tables",
+]

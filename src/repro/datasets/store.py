@@ -1,0 +1,234 @@
+"""The dataset container holding one complete crawl."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.datasets.schema import (
+    InstanceRecord,
+    PolicySettingRecord,
+    PostRecord,
+    RejectEdge,
+    UserRecord,
+)
+from repro.fediverse.identifiers import normalise_domain
+
+
+class Dataset:
+    """All records produced by one measurement campaign.
+
+    The container offers the indexed lookups the analysis layer needs
+    (instances by domain, posts by author/origin, policy settings by policy
+    name, moderation edges by source/target) while keeping the underlying
+    data as flat record lists that can be exported and reloaded.
+    """
+
+    def __init__(self) -> None:
+        self.instances: dict[str, InstanceRecord] = {}
+        self.policy_settings: list[PolicySettingRecord] = []
+        self.reject_edges: list[RejectEdge] = []
+        self.users: dict[str, UserRecord] = {}
+        self.posts: list[PostRecord] = []
+        self._posts_by_author: dict[str, list[PostRecord]] = defaultdict(list)
+        self._posts_by_origin: dict[str, list[PostRecord]] = defaultdict(list)
+        self._seen_post_keys: set[tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def add_instance(self, record: InstanceRecord) -> None:
+        """Add or replace the record of one instance."""
+        self.instances[record.domain] = record
+
+    def add_policy_setting(self, record: PolicySettingRecord) -> None:
+        """Add one policy-setting record."""
+        self.policy_settings.append(record)
+
+    def add_reject_edge(self, edge: RejectEdge) -> None:
+        """Add one moderation edge (deduplicated)."""
+        if edge not in self.reject_edges:
+            self.reject_edges.append(edge)
+
+    def add_reject_edges(self, edges: Iterable[RejectEdge]) -> None:
+        """Add several moderation edges."""
+        existing = set(self.reject_edges)
+        for edge in edges:
+            if edge not in existing:
+                self.reject_edges.append(edge)
+                existing.add(edge)
+
+    def add_user(self, record: UserRecord) -> None:
+        """Add or replace one user record."""
+        self.users[record.handle] = record
+
+    def add_post(self, record: PostRecord) -> None:
+        """Add one post record (deduplicated on (origin, post id))."""
+        key = (record.domain, record.post_id)
+        if key in self._seen_post_keys:
+            return
+        self._seen_post_keys.add(key)
+        self.posts.append(record)
+        self._posts_by_author[record.author].append(record)
+        self._posts_by_origin[record.domain].append(record)
+
+    # ------------------------------------------------------------------ #
+    # Instance-level lookups
+    # ------------------------------------------------------------------ #
+    def instance(self, domain: str) -> InstanceRecord | None:
+        """Return the record of ``domain`` when crawled, else ``None``."""
+        return self.instances.get(normalise_domain(domain))
+
+    def all_instances(self) -> list[InstanceRecord]:
+        """Return every known instance record."""
+        return list(self.instances.values())
+
+    def pleroma_instances(self, reachable_only: bool = False) -> list[InstanceRecord]:
+        """Return the Pleroma instance records."""
+        records = [r for r in self.instances.values() if r.is_pleroma]
+        if reachable_only:
+            records = [r for r in records if r.reachable]
+        return records
+
+    def non_pleroma_instances(self) -> list[InstanceRecord]:
+        """Return records of instances not running Pleroma."""
+        return [r for r in self.instances.values() if not r.is_pleroma]
+
+    def reachable_pleroma_instances(self) -> list[InstanceRecord]:
+        """Return Pleroma instances the crawler could read."""
+        return self.pleroma_instances(reachable_only=True)
+
+    def unreachable_status_breakdown(self) -> dict[int, int]:
+        """Return status-code counts for uncrawlable Pleroma instances."""
+        breakdown: dict[int, int] = {}
+        for record in self.pleroma_instances():
+            if not record.reachable:
+                breakdown[record.status_code] = breakdown.get(record.status_code, 0) + 1
+        return breakdown
+
+    # ------------------------------------------------------------------ #
+    # Policy lookups
+    # ------------------------------------------------------------------ #
+    def policy_settings_for(self, domain: str) -> list[PolicySettingRecord]:
+        """Return the policy settings observed on ``domain``."""
+        domain = normalise_domain(domain)
+        return [record for record in self.policy_settings if record.domain == domain]
+
+    def instances_with_policy(self, policy: str) -> list[str]:
+        """Return the domains that enable ``policy``."""
+        return sorted(
+            {record.domain for record in self.policy_settings if record.policy == policy}
+        )
+
+    def policy_names(self) -> list[str]:
+        """Return every distinct policy name observed."""
+        return sorted({record.policy for record in self.policy_settings})
+
+    def simple_policy_settings(self) -> list[PolicySettingRecord]:
+        """Return only the SimplePolicy settings."""
+        return [record for record in self.policy_settings if record.policy == "SimplePolicy"]
+
+    # ------------------------------------------------------------------ #
+    # Moderation-edge lookups
+    # ------------------------------------------------------------------ #
+    def edges_by_action(self, action: str) -> list[RejectEdge]:
+        """Return the moderation edges carrying ``action``."""
+        return [edge for edge in self.reject_edges if edge.action == action]
+
+    def edges_targeting(self, domain: str) -> list[RejectEdge]:
+        """Return the moderation edges whose target is ``domain``."""
+        domain = normalise_domain(domain)
+        return [edge for edge in self.reject_edges if edge.target == domain]
+
+    def edges_from(self, domain: str) -> list[RejectEdge]:
+        """Return the moderation edges applied by ``domain``."""
+        domain = normalise_domain(domain)
+        return [edge for edge in self.reject_edges if edge.source == domain]
+
+    def rejects_received(self, domain: str) -> int:
+        """Return how many reject actions target ``domain``."""
+        domain = normalise_domain(domain)
+        return sum(
+            1
+            for edge in self.reject_edges
+            if edge.target == domain and edge.action == "reject"
+        )
+
+    def rejects_applied(self, domain: str) -> int:
+        """Return how many reject actions ``domain`` applies to others."""
+        domain = normalise_domain(domain)
+        return sum(
+            1
+            for edge in self.reject_edges
+            if edge.source == domain and edge.action == "reject"
+        )
+
+    def rejected_domains(self) -> list[str]:
+        """Return every domain targeted by at least one reject action."""
+        return sorted(
+            {edge.target for edge in self.reject_edges if edge.action == "reject"}
+        )
+
+    def moderated_domains(self) -> list[str]:
+        """Return every domain targeted by at least one action of any kind."""
+        return sorted({edge.target for edge in self.reject_edges})
+
+    # ------------------------------------------------------------------ #
+    # User and post lookups
+    # ------------------------------------------------------------------ #
+    def users_on(self, domain: str) -> list[UserRecord]:
+        """Return the user records registered on ``domain``."""
+        domain = normalise_domain(domain)
+        return [user for user in self.users.values() if user.domain == domain]
+
+    def posts_by(self, handle: str) -> list[PostRecord]:
+        """Return the posts authored by ``handle``."""
+        return list(self._posts_by_author.get(handle, []))
+
+    def posts_from(self, domain: str) -> list[PostRecord]:
+        """Return the posts originating on ``domain``."""
+        return list(self._posts_by_origin.get(normalise_domain(domain), []))
+
+    def local_posts(self) -> list[PostRecord]:
+        """Return the posts collected from their origin instance."""
+        return [post for post in self.posts if post.is_local]
+
+    def users_with_posts(self) -> list[UserRecord]:
+        """Return users for whom at least one post was collected."""
+        return [
+            user for user in self.users.values() if self._posts_by_author.get(user.handle)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Headline statistics (Section 3 of the paper)
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, float]:
+        """Return the headline dataset statistics."""
+        pleroma = self.pleroma_instances()
+        reachable = [r for r in pleroma if r.reachable]
+        total_users = sum(r.user_count for r in reachable)
+        users_observed = len(self.users)
+        users_with_posts = len(self.users_with_posts())
+        return {
+            "instances_total": len(self.instances),
+            "pleroma_instances": len(pleroma),
+            "non_pleroma_instances": len(self.instances) - len(pleroma),
+            "crawlable_pleroma_instances": len(reachable),
+            "uncrawlable_pleroma_instances": len(pleroma) - len(reachable),
+            "pleroma_users": total_users,
+            "observed_users": users_observed,
+            "users_with_posts": users_with_posts,
+            "active_user_share": (users_with_posts / users_observed) if users_observed else 0.0,
+            "total_status_count": sum(r.status_count for r in reachable),
+            "collected_posts": len(self.posts),
+            "collected_local_posts": len(self.local_posts()),
+            "policy_settings": len(self.policy_settings),
+            "reject_edges": len(self.edges_by_action("reject")),
+            "moderation_edges": len(self.reject_edges),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Dataset(instances={len(self.instances)}, users={len(self.users)}, "
+            f"posts={len(self.posts)}, edges={len(self.reject_edges)})"
+        )

@@ -1,0 +1,77 @@
+"""E-COLL — the Section 5 collateral-damage scalars.
+
+Only 4.2% of users on rejected Pleroma instances share harmful posts; the
+other 95.8% are blocked by association.  Includes the harmful:non-harmful
+post ratio and the attribute mix among harmful users.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_values
+from repro.experiments.base import ExperimentResult
+from repro.experiments.pipeline import ReproPipeline
+
+EXPERIMENT_ID = "collateral"
+TITLE = "Section 5: collateral damage on rejected instances"
+
+
+def run(pipeline: ReproPipeline) -> ExperimentResult:
+    """Regenerate the Section 5 scalars."""
+    analyzer = pipeline.collateral_analyzer
+    summary = analyzer.summary()
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        notes="Computed at the paper's 0.8 Perspective threshold.",
+    )
+    result.rows = [
+        {"metric": "rejected_pleroma_instances", "value": summary.rejected_pleroma_instances},
+        {"metric": "rejected_with_posts", "value": summary.rejected_with_posts},
+        {"metric": "single_user_instances", "value": summary.single_user_instances},
+        {"metric": "analysed_instances", "value": summary.analysed_instances},
+        {"metric": "labelled_users", "value": summary.labelled_users},
+        {"metric": "labelled_posts", "value": summary.labelled_posts},
+        {"metric": "harmful_users", "value": summary.harmful_users},
+        {"metric": "harmful_posts", "value": summary.harmful_posts},
+    ]
+
+    result.add_comparison(
+        "rejected_with_posts_share",
+        summary.rejected_with_posts_share,
+        paper_values.REJECTED_WITH_POSTS_SHARE,
+        unit="%",
+    )
+    result.add_comparison(
+        "single_user_share",
+        summary.single_user_share,
+        paper_values.SINGLE_USER_REJECTED_SHARE,
+        unit="%",
+    )
+    result.add_comparison(
+        "harmful_user_share",
+        summary.harmful_user_share,
+        paper_values.HARMFUL_USER_SHARE,
+        unit="%",
+    )
+    result.add_comparison(
+        "non_harmful_user_share",
+        summary.non_harmful_user_share,
+        paper_values.NON_HARMFUL_USER_SHARE,
+        unit="%",
+    )
+    result.add_comparison(
+        "harmful_post_ratio",
+        summary.harmful_post_ratio,
+        paper_values.HARMFUL_POST_RATIO,
+        note="harmful : non-harmful posts (paper ~1:11)",
+    )
+    for attribute, paper_share in paper_values.HARMFUL_ATTRIBUTE_MIX.items():
+        result.add_comparison(
+            f"harmful_{attribute}_share",
+            summary.attribute_shares.get(attribute, 0.0),
+            paper_share,
+            unit="%",
+            note="share of harmful users flagged on this attribute",
+        )
+    return result

@@ -1,0 +1,52 @@
+"""E-FIG2 — Figure 2: instances targeted by each SimplePolicy action.
+
+For every SimplePolicy action: how many instances it targets (split into
+Pleroma and non-Pleroma) and the users on the targeted Pleroma instances.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_values
+from repro.experiments.base import ExperimentResult
+from repro.experiments.pipeline import ReproPipeline
+
+EXPERIMENT_ID = "figure2"
+TITLE = "Figure 2: instances targeted per SimplePolicy action"
+
+
+def run(pipeline: ReproPipeline) -> ExperimentResult:
+    """Regenerate Figure 2."""
+    analyzer = pipeline.simplepolicy_analyzer
+    breakdown = analyzer.full_breakdown()
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        notes="Sorted by the number of targeted instances (the paper's X order).",
+    )
+    result.rows = [row.as_row() for row in breakdown]
+
+    by_action = {row.action: row for row in breakdown}
+    reject = by_action.get("reject")
+    result.add_comparison(
+        "reject_targets_most_instances",
+        1.0 if breakdown and breakdown[0].action == "reject" else 0.0,
+        1.0,
+        note="reject is the most widely targeted action in the paper",
+    )
+    if reject is not None and reject.targeted_instances:
+        result.add_comparison(
+            "non_pleroma_share_of_reject_targets",
+            reject.targeted_non_pleroma / reject.targeted_instances,
+            paper_values.REJECTED_NON_PLEROMA_INSTANCES
+            / paper_values.REJECTED_UNIQUE_INSTANCES,
+            unit="%",
+        )
+    result.add_comparison(
+        "media_removal_user_share",
+        analyzer.media_removal_user_share(),
+        paper_values.MEDIA_REMOVAL_USER_SHARE,
+        unit="%",
+        note="users on instances targeted by media_removal",
+    )
+    return result

@@ -1,0 +1,54 @@
+"""E-FIG3 — Figure 3: instances applying each SimplePolicy action.
+
+For every SimplePolicy action: how many instances apply it, with the users
+on the instances they target, plus the action's share of all moderation
+events (the paper: reject alone is 62.8% of events).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_values
+from repro.experiments.base import ExperimentResult
+from repro.experiments.pipeline import ReproPipeline
+
+EXPERIMENT_ID = "figure3"
+TITLE = "Figure 3: instances applying each SimplePolicy action"
+
+
+def run(pipeline: ReproPipeline) -> ExperimentResult:
+    """Regenerate Figure 3."""
+    analyzer = pipeline.simplepolicy_analyzer
+    breakdown = sorted(
+        analyzer.full_breakdown(), key=lambda row: (-row.targeting_instances, row.action)
+    )
+    shares = analyzer.action_event_shares()
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        notes="Sorted by the number of instances applying each action.",
+    )
+    for row in breakdown:
+        data = row.as_row()
+        data["event_share"] = shares.get(row.action, 0.0)
+        result.rows.append(data)
+
+    result.add_comparison(
+        "simplepolicy_reject_adoption",
+        analyzer.reject_adoption_share(),
+        paper_values.SIMPLEPOLICY_REJECT_ADOPTION,
+        unit="%",
+        note="share of SimplePolicy instances applying reject",
+    )
+    result.add_comparison(
+        "reject_event_share",
+        shares.get("reject", 0.0),
+        paper_values.REJECT_EVENT_SHARE,
+        unit="%",
+    )
+    result.add_comparison(
+        "reject_applied_by_most_instances",
+        1.0 if breakdown and breakdown[0].action == "reject" else 0.0,
+        1.0,
+    )
+    return result

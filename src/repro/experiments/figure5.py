@@ -1,0 +1,64 @@
+"""E-FIG5 — Figure 5: rejected instances, their users and rejects.
+
+Every rejected Pleroma instance ordered by rejects received, with its user
+count — the view that shows a few heavily-rejected instances holding most
+of the users.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_values
+from repro.experiments.base import ExperimentResult
+from repro.experiments.pipeline import ReproPipeline
+
+EXPERIMENT_ID = "figure5"
+TITLE = "Figure 5: rejected Pleroma instances with user counts and rejects"
+
+
+def run(pipeline: ReproPipeline) -> ExperimentResult:
+    """Regenerate Figure 5."""
+    analyzer = pipeline.reject_analyzer
+    rows = analyzer.rejected_pleroma_instances()
+    summary = analyzer.summary()
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        notes="Sorted by rejects received (the paper's X order).",
+    )
+    result.rows = [
+        {
+            "domain": row.domain,
+            "rejects": row.rejects_received,
+            "users": row.user_count,
+            "posts": row.post_count,
+        }
+        for row in rows
+    ]
+
+    result.add_comparison(
+        "rejected_pleroma_share",
+        summary.rejected_pleroma_share,
+        paper_values.REJECTED_PLEROMA_SHARE,
+        unit="%",
+    )
+    result.add_comparison(
+        "rejected_user_share",
+        summary.rejected_user_share,
+        paper_values.REJECTED_USER_SHARE,
+        unit="%",
+    )
+    result.add_comparison(
+        "rejected_post_share",
+        summary.rejected_post_share,
+        paper_values.REJECTED_POST_SHARE,
+        unit="%",
+    )
+    result.add_comparison(
+        "share_rejected_by_fewer_than_10",
+        summary.share_rejected_by_fewer_than,
+        paper_values.REJECTED_BY_FEWER_THAN_10_SHARE,
+        unit="%",
+        note="threshold of 10 is absolute, so this depends on scenario scale",
+    )
+    return result

@@ -1,0 +1,171 @@
+"""The numbers reported in the paper, used as comparison targets.
+
+Only values explicitly stated in the paper's text, tables or figure captions
+are recorded here; each constant is annotated with its source.  Experiments
+compare the measured (synthetic) value against these to produce the
+paper-vs-measured records in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------- #
+# Section 3 — dataset statistics
+# --------------------------------------------------------------------------- #
+TOTAL_INSTANCES = 9_969
+PLEROMA_INSTANCES = 1_534
+NON_PLEROMA_INSTANCES = 8_435
+CRAWLABLE_PLEROMA = 1_298
+CRAWLABLE_SHARE = 0.846
+UNCRAWLABLE_STATUS = {404: 110, 403: 84, 502: 24, 503: 11, 410: 7}
+TOTAL_USERS = 111_000
+USERS_WITH_POSTS_SHARE = 0.487
+TOTAL_POSTS = 24_500_000
+COLLECTED_POSTS = 14_500_000
+USERS_COVERED_BY_POSTS = 91_700
+INSTANCES_WITH_POSTS = 796
+POLICY_EXPOSURE_SHARE = 0.919
+
+# --------------------------------------------------------------------------- #
+# Section 4.1 — policies
+# --------------------------------------------------------------------------- #
+POLICY_TYPES_TOTAL = 46
+POLICY_TYPES_BUILTIN = 26
+POLICY_TYPES_CUSTOM = 20
+USERS_IMPACTED_SHARE = 0.977
+POSTS_IMPACTED_SHARE = 0.978
+USERS_REJECTED_SHARE = 0.862
+POSTS_REJECTED_SHARE = 0.885
+REJECT_EVENT_SHARE = 0.628
+REJECTED_OF_MODERATED_SHARE = 0.80
+SIMPLEPOLICY_REJECT_ADOPTION = 0.73
+MEDIA_REMOVAL_INSTANCE_SHARE = 0.054
+MEDIA_REMOVAL_USER_SHARE = 0.233
+
+#: Figure 1 / Table 3: instances enabling each policy (out of 1,298) and the
+#: users on those instances.
+POLICY_TABLE: dict[str, tuple[int, int]] = {
+    "ObjectAgePolicy": (869, 57_854),
+    "TagPolicy": (429, 38_067),
+    "SimplePolicy": (330, 46_691),
+    "NoOpPolicy": (176, 6_443),
+    "HellthreadPolicy": (87, 14_401),
+    "StealEmojiPolicy": (81, 7_003),
+    "HashtagPolicy": (62, 10_933),
+    "AntiFollowbotPolicy": (51, 6_918),
+    "MediaProxyWarmingPolicy": (46, 9_851),
+    "KeywordPolicy": (42, 22_428),
+    "AntiLinkSpamPolicy": (32, 7_347),
+    "ForceBotUnlistedPolicy": (23, 6_746),
+    "EnsureRePrepended": (18, 247),
+    "ActivityExpirationPolicy": (11, 1_420),
+    "SubchainPolicy": (8, 81),
+    "MentionPolicy": (6, 1_149),
+    "VocabularyPolicy": (5, 121),
+    "AntiHellthreadPolicy": (4, 2_106),
+    "RejectNonPublic": (3, 1_101),
+    "FollowBotPolicy": (2, 281),
+    "DropPolicy": (1, 1_098),
+}
+
+#: Figure 1: expected ordering of the most-enabled policies.
+TOP_POLICY_ORDER = ("ObjectAgePolicy", "TagPolicy", "SimplePolicy", "NoOpPolicy")
+
+# --------------------------------------------------------------------------- #
+# Section 4.2 — rejected instances
+# --------------------------------------------------------------------------- #
+REJECTED_UNIQUE_INSTANCES = 1_200
+REJECTED_PLEROMA_INSTANCES = 202
+REJECTED_NON_PLEROMA_INSTANCES = 998
+REJECTED_PLEROMA_SHARE = 0.155
+REJECTED_USER_SHARE = 0.862
+REJECTED_POST_SHARE = 0.887
+REJECTED_BY_FEWER_THAN_10_SHARE = 0.868
+ELITE_REJECTED_SHARE = 0.054
+ELITE_REJECTS_THRESHOLD = 20
+ELITE_USER_SHARE = 0.336
+ELITE_POST_SHARE = 0.234
+SPEARMAN_POSTS_VS_REJECTS = 0.38
+SPEARMAN_RETALIATION = -0.033
+ANNOTATED_SHARE = 0.884
+ANNOTATED_HARMFUL_CATEGORY_SHARE = 0.906
+ANNOTATED_GENERAL_SHARE = 0.094
+
+#: Table 1: the five most rejected Pleroma instances.
+TABLE1 = [
+    {
+        "instance": "freespeech-extremist.com",
+        "rejects": 97,
+        "users": 1_800,
+        "posts": 1_130_000,
+        "toxicity": 0.26,
+        "profanity": 0.22,
+        "sexually_explicit": 0.16,
+    },
+    {
+        "instance": "kiwifarms.cc",
+        "rejects": 86,
+        "users": 6_800,
+        "posts": 391_000,
+        "toxicity": 0.24,
+        "profanity": 0.19,
+        "sexually_explicit": 0.16,
+    },
+    {
+        "instance": "spinster.xyz",
+        "rejects": 65,
+        "users": 17_900,
+        "posts": 1_340_000,
+        "toxicity": None,
+        "profanity": None,
+        "sexually_explicit": None,
+    },
+    {
+        "instance": "neckbeard.xyz",
+        "rejects": 61,
+        "users": 15_100,
+        "posts": 816_000,
+        "toxicity": 0.13,
+        "profanity": 0.11,
+        "sexually_explicit": 0.11,
+    },
+    {
+        "instance": "poa.st",
+        "rejects": 51,
+        "users": 5_100,
+        "posts": 344_000,
+        "toxicity": 0.27,
+        "profanity": 0.25,
+        "sexually_explicit": 0.18,
+    },
+]
+
+# --------------------------------------------------------------------------- #
+# Section 5 — collateral damage
+# --------------------------------------------------------------------------- #
+REJECTED_WITH_POSTS_SHARE = 0.619
+SINGLE_USER_REJECTED_SHARE = 0.264
+COLLATERAL_LABELLED_USERS = 1_620
+COLLATERAL_LABELLED_POSTS = 59_300
+HARMFUL_USER_SHARE = 0.042
+NON_HARMFUL_USER_SHARE = 0.958
+HARMFUL_POST_RATIO = 1 / 11
+HARMFUL_ATTRIBUTE_MIX = {
+    "toxicity": 0.697,
+    "profanity": 0.576,
+    "sexually_explicit": 0.439,
+}
+
+#: Table 2: Perspective threshold -> share of non-harmful users.
+TABLE2_NON_HARMFUL_BY_THRESHOLD = {
+    0.5: 0.864,
+    0.6: 0.918,
+    0.7: 0.941,
+    0.8: 0.958,
+    0.9: 0.973,
+}
+
+# --------------------------------------------------------------------------- #
+# Campaign parameters (Section 3)
+# --------------------------------------------------------------------------- #
+CAMPAIGN_DAYS = 129
+SNAPSHOT_INTERVAL_HOURS = 4

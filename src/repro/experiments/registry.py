@@ -1,0 +1,76 @@
+"""Registry of all experiments, keyed by experiment id."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.pipeline import ReproPipeline
+from repro.experiments import (
+    collateral,
+    dataset_stats,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    graph_impact,
+    impact,
+    rejects,
+    solutions,
+    table1,
+    table2,
+    table3,
+)
+
+#: Every experiment module in presentation order (the order of the paper).
+_MODULES = (
+    dataset_stats,
+    figure1,
+    figure7,
+    table3,
+    figure2,
+    figure3,
+    impact,
+    figure4,
+    figure5,
+    table1,
+    rejects,
+    figure6,
+    table2,
+    collateral,
+    graph_impact,
+    solutions,
+)
+
+#: experiment id -> run callable.
+EXPERIMENTS: dict[str, Callable[[ReproPipeline], ExperimentResult]] = {
+    module.EXPERIMENT_ID: module.run for module in _MODULES
+}
+
+#: experiment id -> human-readable title.
+EXPERIMENT_TITLES: dict[str, str] = {
+    module.EXPERIMENT_ID: module.TITLE for module in _MODULES
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[[ReproPipeline], ExperimentResult]:
+    """Return the run callable of one experiment."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, pipeline: ReproPipeline) -> ExperimentResult:
+    """Run one experiment against ``pipeline``."""
+    return get_experiment(experiment_id)(pipeline)
+
+
+def run_all(pipeline: ReproPipeline) -> list[ExperimentResult]:
+    """Run every experiment in paper order."""
+    return [module.run(pipeline) for module in _MODULES]

@@ -1,0 +1,103 @@
+"""E-REJ — the Section 4.2 rejected-instance scalars.
+
+Unique rejected instances (Pleroma vs non-Pleroma), the concentration of
+rejects, the posts-vs-rejects correlation, the (absence of) retaliation,
+and the categorical annotation of rejected instances.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_values
+from repro.experiments.base import ExperimentResult
+from repro.experiments.pipeline import ReproPipeline
+
+EXPERIMENT_ID = "rejects"
+TITLE = "Section 4.2: characterising rejected instances"
+
+
+def run(pipeline: ReproPipeline) -> ExperimentResult:
+    """Regenerate the Section 4.2 scalars."""
+    analyzer = pipeline.reject_analyzer
+    summary = analyzer.summary()
+    annotation = pipeline.annotator.annotate_rejected()
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        notes=(
+            "Absolute rejected-instance counts scale with the scenario; the "
+            "shares, correlations and annotation mix are the comparable values."
+        ),
+    )
+    result.rows = [
+        {"metric": "rejected_total", "value": summary.rejected_total},
+        {"metric": "rejected_pleroma", "value": summary.rejected_pleroma},
+        {"metric": "rejected_non_pleroma", "value": summary.rejected_non_pleroma},
+        {"metric": "annotated_instances", "value": annotation.annotatable_instances},
+    ]
+    for category, count in sorted(annotation.category_counts.items()):
+        result.rows.append({"metric": f"annotated_{category}", "value": count})
+
+    result.add_comparison(
+        "non_pleroma_share_of_rejected",
+        summary.rejected_non_pleroma / summary.rejected_total if summary.rejected_total else 0.0,
+        paper_values.REJECTED_NON_PLEROMA_INSTANCES / paper_values.REJECTED_UNIQUE_INSTANCES,
+        unit="%",
+    )
+    result.add_comparison(
+        "rejected_pleroma_share",
+        summary.rejected_pleroma_share,
+        paper_values.REJECTED_PLEROMA_SHARE,
+        unit="%",
+    )
+    result.add_comparison(
+        "rejected_user_share",
+        summary.rejected_user_share,
+        paper_values.REJECTED_USER_SHARE,
+        unit="%",
+    )
+    result.add_comparison(
+        "share_rejected_by_fewer_than_10",
+        summary.share_rejected_by_fewer_than,
+        paper_values.REJECTED_BY_FEWER_THAN_10_SHARE,
+        unit="%",
+        note="absolute threshold; depends on the number of rejecting instances",
+    )
+    result.add_comparison(
+        "elite_share_above_20_rejects",
+        summary.elite_share,
+        paper_values.ELITE_REJECTED_SHARE,
+        unit="%",
+        note="absolute threshold; depends on the number of rejecting instances",
+    )
+    result.add_comparison(
+        "spearman_posts_vs_rejects",
+        summary.spearman_posts_vs_rejects,
+        paper_values.SPEARMAN_POSTS_VS_REJECTS,
+        note="weak positive correlation expected",
+    )
+    result.add_comparison(
+        "spearman_retaliation",
+        summary.spearman_retaliation,
+        paper_values.SPEARMAN_RETALIATION,
+        note="no retaliation: correlation near zero or negative",
+    )
+    result.add_comparison(
+        "annotated_share",
+        annotation.annotatable_share,
+        paper_values.ANNOTATED_SHARE,
+        unit="%",
+    )
+    result.add_comparison(
+        "annotated_harmful_category_share",
+        annotation.harmful_category_share,
+        paper_values.ANNOTATED_HARMFUL_CATEGORY_SHARE,
+        unit="%",
+    )
+    result.add_comparison(
+        "annotated_general_share",
+        annotation.general_share,
+        paper_values.ANNOTATED_GENERAL_SHARE,
+        unit="%",
+    )
+    return result

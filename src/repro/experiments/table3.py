@@ -1,0 +1,69 @@
+"""E-TAB3 — Table 3 / Appendix A: the in-built policies.
+
+For every in-built policy: its description, how many instances enable it and
+how many users sit on those instances.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_values
+from repro.experiments.base import ExperimentResult
+from repro.experiments.pipeline import ReproPipeline
+from repro.mrf.registry import BUILTIN_POLICY_DESCRIPTIONS
+
+EXPERIMENT_ID = "table3"
+TITLE = "Table 3: in-built policies, enabling instances and their users"
+
+
+def run(pipeline: ReproPipeline) -> ExperimentResult:
+    """Regenerate Table 3."""
+    analyzer = pipeline.policy_analyzer
+    prevalence = {row.policy: row for row in analyzer.prevalence()}
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        notes="Counts are scale-dependent; the ordering is the comparable shape.",
+    )
+
+    for policy, (paper_instances, paper_users) in paper_values.POLICY_TABLE.items():
+        row = prevalence.get(policy)
+        result.rows.append(
+            {
+                "policy": policy,
+                "description": BUILTIN_POLICY_DESCRIPTIONS.get(policy, ""),
+                "instances": row.instance_count if row else 0,
+                "users": row.user_count if row else 0,
+                "paper_instances": paper_instances,
+                "paper_users": paper_users,
+            }
+        )
+
+    # Rank correlation between the paper's instance counts and the measured
+    # ones is the headline shape comparison for this table.
+    measured_ranked = sorted(
+        paper_values.POLICY_TABLE,
+        key=lambda name: -(prevalence[name].instance_count if name in prevalence else 0),
+    )
+    paper_ranked = sorted(
+        paper_values.POLICY_TABLE, key=lambda name: -paper_values.POLICY_TABLE[name][0]
+    )
+    agreements = sum(
+        1
+        for index, name in enumerate(paper_ranked[:10])
+        if name in measured_ranked[: max(12, index + 3)]
+    )
+    result.add_comparison(
+        "top10_policies_recovered",
+        agreements,
+        10,
+        note="paper's 10 most-enabled policies found near the top of the measured ranking",
+    )
+    coverage = sum(1 for name in paper_values.POLICY_TABLE if name in prevalence)
+    result.add_comparison(
+        "table3_policies_observed",
+        coverage,
+        len(paper_values.POLICY_TABLE),
+        note="scale-dependent: rarely enabled policies need larger scenarios",
+    )
+    return result

@@ -1,0 +1,57 @@
+"""Fediverse substrate: instances, users, posts, timelines and the registry.
+
+This package models the *data plane* of the decentralised web as studied in
+the paper: a set of independently operated instances (Pleroma, Mastodon and
+other software), the users registered on them, the posts they publish, and
+the per-instance timelines (public/local and "whole known network").
+
+The federation *control plane* (ActivityPub-like delivery) lives in
+:mod:`repro.activitypub`, and the moderation machinery (Pleroma's MRF
+policies) lives in :mod:`repro.mrf`.
+"""
+
+from repro.fediverse.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR, SimulationClock
+from repro.fediverse.errors import (
+    FederationError,
+    FediverseError,
+    PostNotFoundError,
+    UnknownInstanceError,
+    UnknownUserError,
+)
+from repro.fediverse.identifiers import (
+    make_handle,
+    make_post_uri,
+    normalise_domain,
+    parse_handle,
+)
+from repro.fediverse.instance import Instance, InstanceAvailability
+from repro.fediverse.post import MediaAttachment, Post, Visibility
+from repro.fediverse.registry import FediverseRegistry
+from repro.fediverse.software import SoftwareKind
+from repro.fediverse.timeline import InstanceTimelines, Timeline
+from repro.fediverse.user import User
+
+__all__ = [
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "SimulationClock",
+    "FediverseError",
+    "FederationError",
+    "PostNotFoundError",
+    "UnknownInstanceError",
+    "UnknownUserError",
+    "make_handle",
+    "make_post_uri",
+    "normalise_domain",
+    "parse_handle",
+    "Instance",
+    "InstanceAvailability",
+    "MediaAttachment",
+    "Post",
+    "Visibility",
+    "FediverseRegistry",
+    "SoftwareKind",
+    "InstanceTimelines",
+    "Timeline",
+    "User",
+]

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the fediverse substrate."""
+
+from __future__ import annotations
+
+
+class FediverseError(Exception):
+    """Base class for all errors raised by the fediverse substrate."""
+
+
+class UnknownInstanceError(FediverseError):
+    """Raised when an operation references a domain that is not registered."""
+
+    def __init__(self, domain: str) -> None:
+        super().__init__(f"unknown instance: {domain}")
+        self.domain = domain
+
+
+class UnknownUserError(FediverseError):
+    """Raised when an operation references a user that does not exist."""
+
+    def __init__(self, handle: str) -> None:
+        super().__init__(f"unknown user: {handle}")
+        self.handle = handle
+
+
+class PostNotFoundError(FediverseError):
+    """Raised when a post id cannot be resolved on an instance."""
+
+    def __init__(self, post_id: str) -> None:
+        super().__init__(f"post not found: {post_id}")
+        self.post_id = post_id
+
+
+class FederationError(FediverseError):
+    """Raised when a federation operation cannot be completed."""

@@ -1,0 +1,143 @@
+"""The ordered MRF policy pipeline run by each instance."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.activitypub.activities import Activity
+from repro.mrf.base import (
+    PASS_ACTION,
+    MRFContext,
+    MRFDecision,
+    MRFPolicy,
+    ModerationEvent,
+    Verdict,
+)
+
+
+class MRFPipeline:
+    """Run incoming activities through the enabled policies, in order.
+
+    The pipeline short-circuits on the first rejection.  Rewrites compose:
+    each policy receives the activity as (possibly) rewritten by the policies
+    before it.  Every reject or rewrite is logged as a
+    :class:`~repro.mrf.base.ModerationEvent`.
+    """
+
+    def __init__(self, local_domain: str, local_instance: Any = None) -> None:
+        self.local_domain = local_domain
+        self.local_instance = local_instance
+        self._policies: list[MRFPolicy] = []
+        self.events: list[ModerationEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # Policy management
+    # ------------------------------------------------------------------ #
+    @property
+    def policies(self) -> list[MRFPolicy]:
+        """Return the enabled policies in evaluation order."""
+        return list(self._policies)
+
+    @property
+    def policy_names(self) -> list[str]:
+        """Return the names of enabled policies in evaluation order."""
+        return [policy.name for policy in self._policies]
+
+    def add_policy(self, policy: MRFPolicy) -> None:
+        """Enable a policy (appended at the end of the pipeline)."""
+        if self.has_policy(policy.name):
+            raise ValueError(f"policy already enabled: {policy.name}")
+        self._policies.append(policy)
+
+    def remove_policy(self, name: str) -> bool:
+        """Disable the policy called ``name``; return ``True`` if it existed."""
+        for index, policy in enumerate(self._policies):
+            if policy.name == name:
+                del self._policies[index]
+                return True
+        return False
+
+    def has_policy(self, name: str) -> bool:
+        """Return ``True`` when a policy with that name is enabled."""
+        return any(policy.name == name for policy in self._policies)
+
+    def get_policy(self, name: str) -> MRFPolicy | None:
+        """Return the enabled policy called ``name``, or ``None``."""
+        for policy in self._policies:
+            if policy.name == name:
+                return policy
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Filtering
+    # ------------------------------------------------------------------ #
+    def filter(self, activity: Activity, now: float) -> MRFDecision:
+        """Run ``activity`` through the pipeline and return the final decision."""
+        ctx = MRFContext(
+            local_domain=self.local_domain,
+            now=now,
+            local_instance=self.local_instance,
+        )
+        current = activity
+        modified = False
+        last_policy = ""
+        last_action = PASS_ACTION
+        last_reason = ""
+
+        for policy in self._policies:
+            decision = policy.filter(current, ctx)
+            if decision.rejected:
+                self._log(decision, ctx, activity)
+                return decision
+            if decision.action != PASS_ACTION or decision.modified:
+                modified = True
+                last_policy = decision.policy
+                last_action = decision.action
+                last_reason = decision.reason
+                self._log(decision, ctx, activity)
+            current = decision.activity
+
+        return MRFDecision(
+            verdict=Verdict.ACCEPT,
+            activity=current,
+            policy=last_policy,
+            action=last_action,
+            reason=last_reason,
+            modified=modified,
+        )
+
+    def _log(self, decision: MRFDecision, ctx: MRFContext, original: Activity) -> None:
+        self.events.append(
+            ModerationEvent(
+                timestamp=ctx.now,
+                moderating_domain=self.local_domain,
+                origin_domain=original.origin_domain,
+                policy=decision.policy,
+                action=decision.action,
+                activity_type=original.activity_type.value,
+                activity_id=original.activity_id,
+                accepted=decision.accepted,
+                reason=decision.reason,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Configuration exposure (as used by the Pleroma instance API)
+    # ------------------------------------------------------------------ #
+    def simple_policy_config(self) -> dict[str, list[str]]:
+        """Return the SimplePolicy configuration (action -> target domains)."""
+        policy = self.get_policy("SimplePolicy")
+        if policy is None:
+            return {}
+        return policy.config()  # type: ignore[return-value]
+
+    def object_age_config(self) -> dict[str, Any]:
+        """Return the ObjectAgePolicy configuration, if enabled."""
+        policy = self.get_policy("ObjectAgePolicy")
+        if policy is None:
+            return {}
+        return policy.config()
+
+    def describe(self) -> list[dict[str, Any]]:
+        """Return the full pipeline configuration."""
+        return [policy.describe() for policy in self._policies]

@@ -1,0 +1,86 @@
+"""The attributes scored by the Perspective substitute."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+#: The harmfulness threshold recommended by the Perspective developers and
+#: used throughout the paper (Section 3).
+HARMFUL_THRESHOLD = 0.8
+
+
+class Attribute(str, Enum):
+    """The three Perspective attributes the paper scores posts on."""
+
+    TOXICITY = "toxicity"
+    PROFANITY = "profanity"
+    SEXUALLY_EXPLICIT = "sexually_explicit"
+
+
+#: All attributes, in the order the paper reports them.
+ATTRIBUTES: tuple[Attribute, ...] = (
+    Attribute.TOXICITY,
+    Attribute.PROFANITY,
+    Attribute.SEXUALLY_EXPLICIT,
+)
+
+
+@dataclass(frozen=True)
+class AttributeScores:
+    """Per-attribute scores for one piece of text (probabilities in [0, 1])."""
+
+    toxicity: float = 0.0
+    profanity: float = 0.0
+    sexually_explicit: float = 0.0
+
+    def __post_init__(self) -> None:
+        for attribute in ATTRIBUTES:
+            value = self.get(attribute)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{attribute.value} score out of range: {value}")
+
+    def get(self, attribute: Attribute | str) -> float:
+        """Return the score of one attribute."""
+        if isinstance(attribute, Attribute):
+            attribute = attribute.value
+        return float(getattr(self, attribute))
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the scores as a plain dictionary."""
+        return {attribute.value: self.get(attribute) for attribute in ATTRIBUTES}
+
+    @property
+    def max_score(self) -> float:
+        """Return the highest score across all attributes."""
+        return max(self.get(attribute) for attribute in ATTRIBUTES)
+
+    def is_harmful(self, threshold: float = HARMFUL_THRESHOLD) -> bool:
+        """Return ``True`` when any attribute reaches ``threshold``.
+
+        This is the paper's post-level harmfulness definition (Section 3).
+        """
+        return self.max_score >= threshold
+
+    def harmful_attributes(self, threshold: float = HARMFUL_THRESHOLD) -> tuple[Attribute, ...]:
+        """Return the attributes whose score reaches ``threshold``."""
+        return tuple(
+            attribute for attribute in ATTRIBUTES if self.get(attribute) >= threshold
+        )
+
+    @classmethod
+    def mean(cls, scores: list["AttributeScores"]) -> "AttributeScores":
+        """Return the element-wise mean of several score sets.
+
+        The paper classifies a *user* as harmful when the average of all
+        their posts' scores reaches the threshold in any attribute; this is
+        the averaging step of that definition.
+        """
+        if not scores:
+            return cls()
+        count = len(scores)
+        return cls(
+            toxicity=sum(s.toxicity for s in scores) / count,
+            profanity=sum(s.profanity for s in scores) / count,
+            sexually_explicit=sum(s.sexually_explicit for s in scores) / count,
+        )

@@ -1,0 +1,128 @@
+"""An API-shaped client around the lexicon scorer.
+
+The analysis code talks to the scorer the way the paper's pipeline talked to
+the Perspective API: one ``analyze`` call per text (or batched), subject to a
+request quota, with caching of repeated texts.  Modelling the quota matters
+for the crawler-cost benchmark; caching matters because the same post may be
+observed from several instances (it federates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perspective.attributes import ATTRIBUTES, Attribute, AttributeScores
+from repro.perspective.scorer import LexiconScorer
+
+
+class RateLimitExceeded(RuntimeError):
+    """Raised when the per-window request quota is exhausted."""
+
+    def __init__(self, quota: int) -> None:
+        super().__init__(f"perspective quota of {quota} requests per window exceeded")
+        self.quota = quota
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """The result of analysing one text."""
+
+    text: str
+    scores: AttributeScores
+    cached: bool = False
+
+
+@dataclass
+class ClientStats:
+    """Usage counters kept by the client."""
+
+    requests: int = 0
+    analyzed_texts: int = 0
+    cache_hits: int = 0
+    rate_limited: int = 0
+    per_attribute_requests: dict[str, int] = field(default_factory=dict)
+
+
+class PerspectiveClient:
+    """Deterministic, offline stand-in for the Google Perspective API client.
+
+    Parameters
+    ----------
+    scorer:
+        The scorer used to produce attribute scores.
+    quota_per_window:
+        Maximum number of (non-cached) requests per window; ``None`` means
+        unlimited.  The real API enforces a per-minute quota, which the
+        paper's five-month campaign had to respect.
+    """
+
+    def __init__(
+        self,
+        scorer: LexiconScorer | None = None,
+        quota_per_window: int | None = None,
+    ) -> None:
+        if quota_per_window is not None and quota_per_window <= 0:
+            raise ValueError("quota_per_window must be positive (or None)")
+        self.scorer = scorer or LexiconScorer()
+        self.quota_per_window = quota_per_window
+        self.stats = ClientStats()
+        self._cache: dict[str, AttributeScores] = {}
+        self._window_requests = 0
+
+    # ------------------------------------------------------------------ #
+    # Quota window management
+    # ------------------------------------------------------------------ #
+    def reset_window(self) -> None:
+        """Start a new quota window (e.g. a new minute)."""
+        self._window_requests = 0
+
+    @property
+    def window_requests(self) -> int:
+        """Return how many non-cached requests were made this window."""
+        return self._window_requests
+
+    def _charge_quota(self) -> None:
+        if self.quota_per_window is None:
+            return
+        if self._window_requests >= self.quota_per_window:
+            self.stats.rate_limited += 1
+            raise RateLimitExceeded(self.quota_per_window)
+        self._window_requests += 1
+
+    # ------------------------------------------------------------------ #
+    # Analysis
+    # ------------------------------------------------------------------ #
+    def analyze(
+        self,
+        text: str,
+        attributes: tuple[Attribute, ...] = ATTRIBUTES,
+    ) -> AnalysisResult:
+        """Analyse one text, using the cache when possible."""
+        cached = self._cache.get(text)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return AnalysisResult(text=text, scores=cached, cached=True)
+
+        self._charge_quota()
+        self.stats.requests += 1
+        self.stats.analyzed_texts += 1
+        for attribute in attributes:
+            self.stats.per_attribute_requests[attribute.value] = (
+                self.stats.per_attribute_requests.get(attribute.value, 0) + 1
+            )
+        scores = self.scorer.score(text)
+        self._cache[text] = scores
+        return AnalysisResult(text=text, scores=scores)
+
+    def analyze_many(self, texts: list[str]) -> list[AnalysisResult]:
+        """Analyse several texts in submission order."""
+        return [self.analyze(text) for text in texts]
+
+    def clear_cache(self) -> None:
+        """Drop all cached scores."""
+        self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """Return the number of cached texts."""
+        return len(self._cache)

@@ -1,0 +1,88 @@
+"""The deterministic scorer behind the Perspective substitute.
+
+The scorer converts the *density* of weighted lexicon hits in a text into a
+probability-like score in [0, 1].  The mapping is a simple saturating gain:
+
+    score = min(CEILING, GAIN * weighted_hits / tokens)
+
+which has two properties the reproduction relies on:
+
+* it is deterministic and cheap, so millions of synthetic posts can be
+  scored during a benchmark run; and
+* it is trivially invertible (:func:`density_for_score`), which lets the
+  synthetic post generator plant exactly the harmful-term density needed for
+  a target score — the mechanism that preserves the paper's ground truth.
+"""
+
+from __future__ import annotations
+
+from repro.perspective.attributes import ATTRIBUTES, Attribute, AttributeScores
+from repro.perspective.lexicon import Lexicon, default_lexicon, tokenize
+
+#: Gain applied to the harmful-term density.
+GAIN = 3.0
+
+#: Scores never exceed this ceiling (Perspective rarely returns exactly 1.0).
+CEILING = 0.98
+
+
+def score_for_density(density: float, gain: float = GAIN, ceiling: float = CEILING) -> float:
+    """Map a weighted harmful-term density to a score."""
+    if density < 0:
+        raise ValueError("density must be non-negative")
+    return min(ceiling, gain * density)
+
+
+def density_for_score(score: float, gain: float = GAIN, ceiling: float = CEILING) -> float:
+    """Return the density required to reach ``score`` (the scorer's inverse).
+
+    Scores above the ceiling are unreachable and raise ``ValueError``.
+    """
+    if not 0.0 <= score <= 1.0:
+        raise ValueError("score must be within [0, 1]")
+    if score > ceiling:
+        raise ValueError(f"scores above the ceiling ({ceiling}) are unreachable")
+    return score / gain
+
+
+class LexiconScorer:
+    """Score texts on the three Perspective attributes using a lexicon."""
+
+    def __init__(
+        self,
+        lexicon: Lexicon | None = None,
+        gain: float = GAIN,
+        ceiling: float = CEILING,
+    ) -> None:
+        if gain <= 0:
+            raise ValueError("gain must be positive")
+        if not 0 < ceiling <= 1:
+            raise ValueError("ceiling must be within (0, 1]")
+        self.lexicon = lexicon or default_lexicon()
+        self.gain = gain
+        self.ceiling = ceiling
+
+    def score_attribute(self, text: str, attribute: Attribute) -> float:
+        """Score ``text`` on a single attribute."""
+        tokens = tokenize(text)
+        if not tokens:
+            return 0.0
+        hits = self.lexicon.weighted_hits(attribute, tokens)
+        return score_for_density(hits / len(tokens), self.gain, self.ceiling)
+
+    def score(self, text: str) -> AttributeScores:
+        """Score ``text`` on every attribute."""
+        tokens = tokenize(text)
+        if not tokens:
+            return AttributeScores()
+        values = {}
+        for attribute in ATTRIBUTES:
+            hits = self.lexicon.weighted_hits(attribute, tokens)
+            values[attribute.value] = score_for_density(
+                hits / len(tokens), self.gain, self.ceiling
+            )
+        return AttributeScores(**values)
+
+    def score_many(self, texts: list[str]) -> list[AttributeScores]:
+        """Score several texts, preserving order."""
+        return [self.score(text) for text in texts]

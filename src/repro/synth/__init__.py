@@ -1,0 +1,45 @@
+"""Synthetic-fediverse generation calibrated to the paper.
+
+The original study measured the live fediverse between December 2020 and
+April 2021; that population no longer exists and no canonical dataset was
+released.  This package substitutes it with a configurable generator whose
+*population statistics* — instance counts, the Pleroma share, user/post
+heavy tails, policy-adoption mix, reject-target concentration and the
+planted harmful-user fraction — are calibrated to the numbers reported in
+the paper, so that re-running the measurement and analysis pipeline
+reproduces the paper's distributions in shape.
+
+The generator produces a real, functioning
+:class:`~repro.fediverse.registry.FediverseRegistry`: instances run actual
+MRF pipelines, posts actually federate and are filtered, and the crawler
+(:mod:`repro.crawler`) observes all of it through the public APIs only.
+The generator additionally returns the planted ground truth (which users
+are harmful, which instances are controversial) so tests can verify that
+the measurement recovers it.
+"""
+
+from repro.synth.config import (
+    PAPER_ACTION_ADOPTION,
+    PAPER_POLICY_ADOPTION,
+    SynthConfig,
+)
+from repro.synth.generator import FediverseGenerator, GeneratedFediverse
+from repro.synth.ground_truth import GroundTruth, InstanceCategory
+from repro.synth.names import NameGenerator
+from repro.synth.text import TextGenerator
+from repro.synth.scenario import SCENARIOS, build_scenario, scenario_config
+
+__all__ = [
+    "PAPER_ACTION_ADOPTION",
+    "PAPER_POLICY_ADOPTION",
+    "SynthConfig",
+    "FediverseGenerator",
+    "GeneratedFediverse",
+    "GroundTruth",
+    "InstanceCategory",
+    "NameGenerator",
+    "TextGenerator",
+    "SCENARIOS",
+    "build_scenario",
+    "scenario_config",
+]

@@ -1,0 +1,66 @@
+"""Deterministic generation of domain names and usernames."""
+
+from __future__ import annotations
+
+import random
+
+#: Word pools combined into synthetic instance domain names.  All generated
+#: domains use reserved example TLDs so they can never collide with real
+#: servers.
+_PREFIXES = (
+    "fedi", "social", "queer", "retro", "cyber", "night", "solar", "pixel",
+    "quiet", "loud", "tiny", "mega", "astro", "lunar", "hyper", "neo",
+    "calm", "wild", "free", "open", "home", "indie", "punk", "folk",
+    "craft", "glitch", "velvet", "amber", "cobalt", "crimson", "ivory",
+)
+_SUFFIXES = (
+    "space", "town", "club", "cafe", "garden", "harbor", "forest", "meadow",
+    "works", "net", "hub", "zone", "lounge", "corner", "island", "valley",
+    "city", "village", "party", "place", "commons", "collective", "haven",
+)
+_TLDS = ("example", "test", "invalid")
+
+_USERNAME_ADJECTIVES = (
+    "quiet", "rapid", "lazy", "brave", "witty", "grumpy", "sunny", "fuzzy",
+    "shiny", "salty", "mellow", "dizzy", "sleepy", "zesty", "spicy", "misty",
+)
+_USERNAME_NOUNS = (
+    "otter", "falcon", "badger", "poet", "pilot", "gardener", "sailor",
+    "wizard", "baker", "robot", "fox", "heron", "lynx", "comet", "maple",
+    "willow", "ember", "pebble", "quill", "raven",
+)
+
+
+class NameGenerator:
+    """Produce unique, deterministic domain names and usernames."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._used_domains: set[str] = set()
+        self._domain_counter = 0
+        self._user_counter = 0
+
+    def domain(self, hint: str = "") -> str:
+        """Return a fresh domain name, optionally embedding ``hint``."""
+        while True:
+            self._domain_counter += 1
+            prefix = self._rng.choice(_PREFIXES)
+            suffix = self._rng.choice(_SUFFIXES)
+            tld = self._rng.choice(_TLDS)
+            base = f"{hint}-{prefix}{suffix}" if hint else f"{prefix}{suffix}"
+            candidate = f"{base}-{self._domain_counter}.{tld}"
+            if candidate not in self._used_domains:
+                self._used_domains.add(candidate)
+                return candidate
+
+    def reserve_domain(self, domain: str) -> str:
+        """Mark a hand-picked domain (e.g. an elite instance name) as used."""
+        self._used_domains.add(domain)
+        return domain
+
+    def username(self) -> str:
+        """Return a fresh username."""
+        self._user_counter += 1
+        adjective = self._rng.choice(_USERNAME_ADJECTIVES)
+        noun = self._rng.choice(_USERNAME_NOUNS)
+        return f"{adjective}_{noun}_{self._user_counter}"

@@ -1,0 +1,165 @@
+"""Assignment of MRF policies to generated instances.
+
+The assigner decides which policies each Pleroma instance enables (following
+the adoption mix of Table 3), which SimplePolicy actions it uses (following
+Figure 3), and which instances each action targets (concentrated on the
+controversial/elite instances, following Section 4.2).  All decisions are
+made with the generator's seeded RNG so a configuration always produces the
+same moderation landscape.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.fediverse.instance import Instance
+from repro.fediverse.registry import FediverseRegistry
+from repro.mrf.custom import OBSERVED_CUSTOM_POLICY_NAMES
+from repro.mrf.registry import create_policy
+from repro.mrf.simple import SimplePolicy
+from repro.synth.config import SynthConfig
+from repro.synth.ground_truth import GroundTruth, InstanceCategory
+from repro.synth.population import geometric_count, weighted_sample_without_replacement
+
+#: Policies whose constructor needs non-default arguments to do anything
+#: interesting in the simulation.
+_POLICY_KWARGS = {
+    "KeywordPolicy": {
+        "reject": ["casino bonus", "crypto giveaway"],
+        "federated_timeline_removal": ["curseword"],
+    },
+    "HashtagPolicy": {"sensitive": ["nsfw", "lewd"]},
+    "MentionPolicy": {"actors": ["blocked_person@mentions.example"]},
+    "VocabularyPolicy": {"reject": ["Flag"]},
+    "StealEmojiPolicy": {"hosts": ["*.example"]},
+}
+
+
+class PolicyAssigner:
+    """Assign policies and SimplePolicy targets across a generated fediverse."""
+
+    def __init__(
+        self,
+        config: SynthConfig,
+        rng: random.Random,
+        ground_truth: GroundTruth,
+    ) -> None:
+        self.config = config
+        self.rng = rng
+        self.ground_truth = ground_truth
+
+    # ------------------------------------------------------------------ #
+    # Policy selection per instance
+    # ------------------------------------------------------------------ #
+    def choose_policies(self, instance: Instance) -> list[str]:
+        """Return the policy names ``instance`` enables."""
+        controversial = self.ground_truth.is_controversial(instance.domain)
+        chosen: list[str] = []
+        for name, probability in self.config.policy_adoption.items():
+            if name == "SimplePolicy" and controversial:
+                probability *= self.config.controversial_simplepolicy_factor
+            if self.rng.random() < probability:
+                chosen.append(name)
+        for name in OBSERVED_CUSTOM_POLICY_NAMES:
+            if self.rng.random() < self.config.custom_policy_adoption:
+                chosen.append(name)
+        return chosen
+
+    def choose_actions(self) -> list[str]:
+        """Return the SimplePolicy actions an instance uses (at least one)."""
+        actions = [
+            action
+            for action, probability in self.config.action_adoption.items()
+            if self.rng.random() < probability
+        ]
+        if not actions:
+            actions.append("reject" if self.rng.random() < 0.73 else "federated_timeline_removal")
+        return actions
+
+    # ------------------------------------------------------------------ #
+    # Target pools
+    # ------------------------------------------------------------------ #
+    def build_target_pool(self) -> tuple[list[str], dict[str, float]]:
+        """Return the candidate reject targets and their sampling weights.
+
+        Elite targets get descending weights in their Table 1 order, so the
+        head of the measured reject ranking reproduces the paper's ordering
+        (freespeech-extremist first, then kiwifarms, and so on).
+        """
+        weights: dict[str, float] = {}
+        for rank, domain in enumerate(self.ground_truth.elite_domains):
+            weights[domain] = self.config.elite_target_weight / (1.0 + 0.3 * rank)
+        # The famous non-Pleroma targets (gab and friends) sit at the very top
+        # of the overall reject ranking in the paper, ahead of the Pleroma head.
+        for rank, domain in enumerate(self.ground_truth.elite_non_pleroma_domains):
+            weights[domain] = 1.25 * self.config.elite_target_weight / (1.0 + 0.3 * rank)
+        # Sets are iterated in sorted order so the generated moderation
+        # landscape is identical across processes (set order depends on the
+        # interpreter's hash seed).
+        for domain in sorted(self.ground_truth.controversial_domains):
+            weights.setdefault(domain, self.config.controversial_target_weight)
+        for domain in sorted(self.ground_truth.blockable_non_pleroma_domains):
+            weights.setdefault(domain, self.config.ordinary_target_weight)
+        return list(weights), weights
+
+    def _action_weights(
+        self, action: str, candidates: list[str], base_weights: dict[str, float]
+    ) -> list[float]:
+        """Return per-candidate weights, biased for media actions."""
+        multiplier = self.config.sexual_media_target_multiplier
+        weights = []
+        for domain in candidates:
+            weight = base_weights[domain]
+            if action in ("media_removal", "media_nsfw"):
+                category = self.ground_truth.category(domain)
+                if category is InstanceCategory.SEXUALLY_EXPLICIT:
+                    weight *= multiplier
+            weights.append(weight)
+        return weights
+
+    # ------------------------------------------------------------------ #
+    # Assignment entry point
+    # ------------------------------------------------------------------ #
+    def assign(self, registry: FediverseRegistry) -> dict[str, list[str]]:
+        """Enable policies on every Pleroma instance of ``registry``.
+
+        Returns a mapping domain -> enabled policy names (useful to tests).
+        """
+        candidates, base_weights = self.build_target_pool()
+        assigned: dict[str, list[str]] = {}
+
+        for instance in registry.pleroma_instances():
+            policy_names = self.choose_policies(instance)
+            assigned[instance.domain] = policy_names
+            for name in policy_names:
+                if name == "SimplePolicy":
+                    policy = self._build_simple_policy(instance, candidates, base_weights)
+                else:
+                    kwargs = _POLICY_KWARGS.get(name, {})
+                    policy = create_policy(name, **kwargs)
+                if not instance.mrf.has_policy(policy.name):
+                    instance.mrf.add_policy(policy)
+        return assigned
+
+    def _build_simple_policy(
+        self,
+        instance: Instance,
+        candidates: list[str],
+        base_weights: dict[str, float],
+    ) -> SimplePolicy:
+        """Build a SimplePolicy with sampled actions and target lists."""
+        policy = SimplePolicy()
+        usable = [domain for domain in candidates if domain != instance.domain]
+        for action in self.choose_actions():
+            if action == "reject":
+                list_size = geometric_count(self.rng, self.config.mean_reject_list_size)
+            else:
+                list_size = geometric_count(self.rng, self.config.mean_other_action_list_size)
+            weights = self._action_weights(action, usable, base_weights)
+            targets = weighted_sample_without_replacement(
+                self.rng, usable, weights, list_size
+            )
+            for target in targets:
+                policy.add_target(action, target)
+                instance.add_peer(target)
+        return policy

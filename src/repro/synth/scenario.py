@@ -1,0 +1,50 @@
+"""Named generation scenarios.
+
+Scenarios bundle a :class:`~repro.synth.config.SynthConfig` at a given scale
+so tests, examples and benchmarks agree on what "tiny", "small", "medium"
+and "paper" mean.  Percentage-style results are designed to be stable across
+scales (that is itself verified by a test); absolute counts grow with scale.
+"""
+
+from __future__ import annotations
+
+from repro.synth.config import SynthConfig
+from repro.synth.generator import FediverseGenerator, GeneratedFediverse
+
+#: Scenario name -> keyword overrides applied on top of the defaults.
+SCENARIOS: dict[str, dict] = {
+    # Fast enough for unit tests (a couple of hundred users).
+    "tiny": {"n_pleroma_instances": 40, "campaign_days": 3.0, "federation_fanout": 3},
+    # The default: a faithful miniature of the paper's population.
+    "small": {"n_pleroma_instances": 150, "campaign_days": 14.0},
+    # Used by most benchmarks.
+    "medium": {"n_pleroma_instances": 400, "campaign_days": 30.0},
+    # Instance population matching the paper's 1,534 Pleroma instances.
+    "paper": {
+        "n_pleroma_instances": 1534,
+        "campaign_days": float(129),
+        "federation_posts_per_peer": 5,
+    },
+}
+
+
+def scenario_config(name: str = "small", seed: int = 42, **overrides) -> SynthConfig:
+    """Return the :class:`SynthConfig` of a named scenario.
+
+    Additional keyword overrides are applied on top of the scenario, which is
+    how benchmarks sweep individual parameters.
+    """
+    try:
+        base = dict(SCENARIOS[name])
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIOS))}"
+        ) from None
+    base.update(overrides)
+    return SynthConfig(seed=seed, **base)
+
+
+def build_scenario(name: str = "small", seed: int = 42, **overrides) -> GeneratedFediverse:
+    """Generate the fediverse of a named scenario."""
+    config = scenario_config(name, seed=seed, **overrides)
+    return FediverseGenerator(config).generate()

@@ -1,0 +1,144 @@
+"""Synthetic post text with controlled harmful-term density.
+
+The generator and the Perspective substitute share a contract: the scorer
+maps the weighted density of lexicon terms to a score, and this module's
+:class:`TextGenerator` plants exactly the density needed for a target score.
+That is what lets the collateral-damage analysis recover the planted
+harmful-user ground truth the same way the paper recovered it with the real
+Perspective API.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.perspective.attributes import Attribute
+from repro.perspective.lexicon import Lexicon, default_lexicon
+from repro.perspective.scorer import density_for_score
+
+#: Benign vocabulary used for filler text.  Deliberately disjoint from the
+#: harmful lexicons.
+_BENIGN_WORDS = (
+    "coffee", "garden", "bicycle", "weather", "sunset", "music", "album",
+    "recipe", "keyboard", "terminal", "kernel", "compile", "release", "patch",
+    "birds", "hiking", "train", "photo", "camera", "paint", "sketch",
+    "novel", "poem", "library", "server", "instance", "federation", "post",
+    "timeline", "friday", "weekend", "morning", "evening", "dinner", "bread",
+    "cheese", "tomato", "garlic", "soup", "tea", "walk", "river", "mountain",
+    "cloud", "rain", "snow", "spring", "autumn", "project", "update",
+    "today", "tomorrow", "yesterday", "thanks", "great", "lovely", "happy",
+    "excited", "curious", "reading", "writing", "playing", "building",
+)
+
+_HASHTAG_POOL = (
+    "introductions", "photography", "caturday", "fediverse", "floss",
+    "gardening", "music", "art", "linux", "selfhosting", "cooking", "books",
+)
+
+
+class TextGenerator:
+    """Generate benign and harmful post bodies with a controlled score."""
+
+    def __init__(self, rng: random.Random, lexicon: Lexicon | None = None) -> None:
+        self._rng = rng
+        self.lexicon = lexicon or default_lexicon()
+        # Pre-compute, per attribute, the terms usable for planting together
+        # with their weights (descending weight so strong terms come first).
+        self._planting_terms: dict[Attribute, list[tuple[str, float]]] = {}
+        for attribute in Attribute:
+            terms = sorted(
+                self.lexicon.attribute_terms(attribute).items(),
+                key=lambda item: (-item[1], item[0]),
+            )
+            self._planting_terms[attribute] = [
+                (term, weight) for term, weight in terms if weight >= 0.7
+            ]
+
+    # ------------------------------------------------------------------ #
+    # Benign text
+    # ------------------------------------------------------------------ #
+    def benign_words(self, count: int) -> list[str]:
+        """Return ``count`` benign filler words."""
+        return [self._rng.choice(_BENIGN_WORDS) for _ in range(max(1, count))]
+
+    def benign_post(self, length: int = 20, with_hashtag_probability: float = 0.15) -> str:
+        """Return a benign post body of roughly ``length`` words."""
+        words = self.benign_words(length)
+        if self._rng.random() < with_hashtag_probability:
+            words.append(f"#{self._rng.choice(_HASHTAG_POOL)}")
+        return " ".join(words)
+
+    # ------------------------------------------------------------------ #
+    # Harmful text
+    # ------------------------------------------------------------------ #
+    def harmful_post(
+        self,
+        attributes: tuple[str, ...],
+        target_score: float,
+        length: int = 20,
+    ) -> str:
+        """Return a post whose score reaches ``target_score`` on ``attributes``.
+
+        The post mixes benign filler with lexicon terms of each requested
+        attribute at the density required by the scorer's inverse mapping.
+        """
+        if not attributes:
+            return self.benign_post(length)
+        length = max(6, length)
+        words = self.benign_words(length)
+        # Attributes are planted into disjoint regions of the word list so a
+        # later attribute never erodes the density of an earlier one.
+        next_free = 0
+        for attribute_name in attributes:
+            attribute = Attribute(attribute_name)
+            next_free = self._plant(words, attribute, target_score, start=next_free)
+        self._rng.shuffle(words)
+        return " ".join(words)
+
+    def _plant(
+        self, words: list[str], attribute: Attribute, target_score: float, start: int = 0
+    ) -> int:
+        """Replace benign words from ``start`` until the target density is reached.
+
+        Returns the index after the last planted word, so callers can plant
+        further attributes without overwriting this one.
+        """
+        candidates = self._planting_terms[attribute]
+        if not candidates:
+            return start
+        needed_weight = density_for_score(target_score) * len(words)
+        planted_weight = 0.0
+        index = start
+        pick = 0
+        while index < len(words):
+            term, weight = candidates[pick % len(candidates)]
+            remaining = needed_weight - planted_weight
+            if remaining <= 0:
+                break
+            if remaining < weight:
+                # Probabilistic rounding keeps the *expected* planted weight
+                # equal to the target, so user averages are unbiased even
+                # though individual posts overshoot or undershoot slightly.
+                if self._rng.random() >= remaining / weight:
+                    break
+            words[index] = term
+            planted_weight += weight
+            index += 1
+            pick += 1
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Special-purpose text
+    # ------------------------------------------------------------------ #
+    def spam_post(self, length: int = 12) -> str:
+        """Return a link-spam post (exercises AntiLinkSpamPolicy)."""
+        words = self.benign_words(length)
+        words.append(f"https://spam-{self._rng.randrange(10_000)}.example/offer")
+        return " ".join(words)
+
+    def hellthread_post(self, mention_count: int = 15, length: int = 10) -> str:
+        """Return a post mentioning ``mention_count`` users (a hellthread)."""
+        words = self.benign_words(length)
+        for index in range(mention_count):
+            words.append(f"@victim{index}@mentions.example")
+        return " ".join(words)

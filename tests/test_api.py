@@ -1,0 +1,165 @@
+"""Tests for the in-process HTTP API layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.client import APIClient, APIError
+from repro.api.http import HTTPRequest, HTTPResponse, HTTPStatus
+from repro.api.router import Router
+from repro.api.server import FediverseAPIServer
+from repro.fediverse.registry import FediverseRegistry
+from repro.fediverse.software import SoftwareKind
+from repro.mrf.simple import SimplePolicy
+
+
+@pytest.fixture
+def served_registry() -> tuple[FediverseRegistry, FediverseAPIServer, APIClient]:
+    registry = FediverseRegistry()
+    instance = registry.create_instance("alpha.example", install_default_policies=False)
+    instance.register_user("alice")
+    for index in range(55):
+        instance.publish("alice", f"post number {index}", created_at=float(index))
+    instance.mrf.add_policy(SimplePolicy(reject=["bad.example"]))
+    instance.add_peer("beta.example")
+    registry.create_instance(
+        "masto.example", software=SoftwareKind.MASTODON, install_default_policies=False
+    )
+    server = FediverseAPIServer(registry)
+    return registry, server, APIClient(server)
+
+
+class TestHTTPPrimitives:
+    def test_request_from_url_parses_query(self):
+        request = HTTPRequest.from_url("alpha.example", "/api/v1/timelines/public?local=true&limit=5")
+        assert request.path == "/api/v1/timelines/public"
+        assert request.bool_param("local") is True
+        assert request.int_param("limit", 20) == 5
+
+    def test_int_param_invalid(self):
+        request = HTTPRequest.from_url("alpha.example", "/x?limit=abc")
+        with pytest.raises(ValueError):
+            request.int_param("limit", 20)
+
+    def test_response_json_on_error_raises(self):
+        response = HTTPResponse.error(HTTPStatus.NOT_FOUND)
+        assert not response.ok
+        with pytest.raises(ValueError):
+            response.json()
+
+    def test_status_reason(self):
+        assert HTTPStatus.BAD_GATEWAY.reason == "Bad Gateway"
+
+    def test_error_statuses_match_paper(self):
+        for code in (403, 404, 410, 502, 503):
+            assert int(HTTPStatus(code)) == code
+
+
+class TestRouter:
+    def test_dispatches_matching_route(self):
+        router = Router()
+        router.add("/hello", lambda request: HTTPResponse.json_ok({"hi": True}))
+        response = router.dispatch(HTTPRequest(domain="x", path="/hello"))
+        assert response.ok
+
+    def test_unknown_path_is_404(self):
+        router = Router()
+        response = router.dispatch(HTTPRequest(domain="x", path="/nope"))
+        assert response.status is HTTPStatus.NOT_FOUND
+
+    def test_path_parameters(self):
+        router = Router()
+        router.add(
+            "/api/v1/accounts/{username}",
+            lambda request, username: HTTPResponse.json_ok({"username": username}),
+        )
+        response = router.dispatch(HTTPRequest(domain="x", path="/api/v1/accounts/alice"))
+        assert response.body == {"username": "alice"}
+
+    def test_decorator_registration(self):
+        router = Router()
+
+        @router.route("/ping")
+        def ping(request):
+            return HTTPResponse.json_ok("pong")
+
+        assert "/ping" in router.patterns
+
+
+class TestServerEndpoints:
+    def test_instance_metadata(self, served_registry):
+        _, _, client = served_registry
+        payload = client.instance_metadata("alpha.example")
+        assert payload["uri"] == "alpha.example"
+        assert payload["stats"]["user_count"] == 1
+        federation = payload["pleroma"]["metadata"]["federation"]
+        assert "SimplePolicy" in federation["mrf_policies"]
+        assert federation["mrf_simple"] == {"reject": ["bad.example"]}
+
+    def test_mastodon_instance_has_no_pleroma_block(self, served_registry):
+        _, _, client = served_registry
+        assert "pleroma" not in client.instance_metadata("masto.example")
+
+    def test_peers_endpoint(self, served_registry):
+        _, _, client = served_registry
+        assert client.instance_peers("alpha.example") == ["beta.example"]
+
+    def test_timeline_pagination(self, served_registry):
+        _, _, client = served_registry
+        first_page = client.public_timeline("alpha.example", limit=40)
+        assert len(first_page) == 40
+        second_page = client.public_timeline(
+            "alpha.example", limit=40, max_id=first_page[-1]["id"]
+        )
+        assert len(second_page) == 15
+        ids = {post["id"] for post in first_page} | {post["id"] for post in second_page}
+        assert len(ids) == 55
+
+    def test_timeline_limit_is_capped(self, served_registry):
+        _, _, client = served_registry
+        assert len(client.public_timeline("alpha.example", limit=500)) == 40
+
+    def test_timeline_hidden_when_not_exposed(self, served_registry):
+        registry, _, client = served_registry
+        registry.get("alpha.example").expose_public_timeline = False
+        with pytest.raises(APIError) as excinfo:
+            client.public_timeline("alpha.example")
+        assert excinfo.value.status is HTTPStatus.FORBIDDEN
+
+    def test_unknown_instance_404(self, served_registry):
+        _, _, client = served_registry
+        with pytest.raises(APIError) as excinfo:
+            client.instance_metadata("ghost.example")
+        assert excinfo.value.status is HTTPStatus.NOT_FOUND
+
+    def test_unavailable_instance_returns_configured_status(self, served_registry):
+        registry, _, client = served_registry
+        registry.set_availability("alpha.example", 502, "down")
+        with pytest.raises(APIError) as excinfo:
+            client.instance_metadata("alpha.example")
+        assert excinfo.value.status is HTTPStatus.BAD_GATEWAY
+
+    def test_nodeinfo(self, served_registry):
+        _, _, client = served_registry
+        payload = client.nodeinfo("alpha.example")
+        assert payload["software"]["name"] == "pleroma"
+        assert payload["usage"]["users"]["total"] == 1
+
+    def test_account_endpoints(self, served_registry):
+        _, server, _ = served_registry
+        response = server.get("alpha.example", "/api/v1/accounts/alice")
+        assert response.ok and response.body["acct"] == "alice@alpha.example"
+        statuses = server.get("alpha.example", "/api/v1/accounts/alice/statuses?limit=5")
+        assert len(statuses.body) == 5
+        missing = server.get("alpha.example", "/api/v1/accounts/ghost")
+        assert missing.status is HTTPStatus.NOT_FOUND
+
+    def test_client_stats_track_failures(self, served_registry):
+        registry, _, client = served_registry
+        registry.set_availability("alpha.example", 503)
+        with pytest.raises(APIError):
+            client.instance_metadata("alpha.example")
+        client.instance_metadata("masto.example")
+        assert client.stats.requests == 2
+        assert client.stats.failed == 1
+        assert client.stats.by_status[503] == 1

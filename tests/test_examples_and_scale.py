@@ -1,0 +1,98 @@
+"""Smoke tests for the example scripts and scale-invariance checks.
+
+The examples are part of the public surface of the repository; these tests
+keep them importable and runnable so they do not rot as the library evolves.
+The scale-invariance tests back the DESIGN.md claim that headline
+percentages are stable across generator scales.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example(name: str):
+    """Import an example script as a module."""
+    if str(EXAMPLES_DIR) not in sys.path:
+        sys.path.insert(0, str(EXAMPLES_DIR))
+    return importlib.import_module(name)
+
+
+class TestExampleScripts:
+    def test_examples_directory_contents(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "measurement_campaign.py",
+            "collateral_damage_study.py",
+            "moderation_policy_lab.py",
+            "proposed_policies_demo.py",
+        } <= names
+
+    def test_moderation_policy_lab_runs(self, capsys):
+        module = _load_example("moderation_policy_lab")
+        module.main()
+        output = capsys.readouterr().out
+        assert "SimplePolicy" in output
+        assert "moderation events recorded" in output
+
+    def test_proposed_policies_demo_runs(self, capsys):
+        module = _load_example("proposed_policies_demo")
+        module.main()
+        output = capsys.readouterr().out
+        assert "SimplePolicy reject (baseline)" in output
+        assert "benign delivered:   0" in output  # the baseline's collateral
+        assert "RepeatOffenderPolicy" in output
+
+    def test_quickstart_hand_built_part_runs(self, capsys):
+        module = _load_example("quickstart")
+        module.hand_built_fediverse()
+        output = capsys.readouterr().out
+        assert "accepted: False" in output
+        assert "policy:   SimplePolicy" in output
+
+    def test_measurement_campaign_runs_on_tiny(self, capsys, tmp_path, monkeypatch):
+        module = _load_example("measurement_campaign")
+        monkeypatch.setattr(module, "OUTPUT_DIR", tmp_path / "campaign_output")
+        module.main("tiny")
+        output = capsys.readouterr().out
+        assert "dataset statistics:" in output
+        assert (tmp_path / "campaign_output" / "dataset.json").exists()
+        assert (tmp_path / "campaign_output" / "csv" / "instances.csv").exists()
+
+
+class TestScaleInvariance:
+    """Headline percentages are stable between the tiny and small scales."""
+
+    def test_collateral_share_stable_across_scales(self, tiny_pipeline, small_pipeline):
+        tiny = run_experiment("collateral", tiny_pipeline).measured("non_harmful_user_share")
+        small = run_experiment("collateral", small_pipeline).measured("non_harmful_user_share")
+        assert abs(tiny - small) < 0.08
+
+    def test_reject_user_share_stable_across_scales(self, tiny_pipeline, small_pipeline):
+        tiny = run_experiment("impact", tiny_pipeline).measured("user_reject_share")
+        small = run_experiment("impact", small_pipeline).measured("user_reject_share")
+        assert abs(tiny - small) < 0.15
+
+    def test_policy_ranking_stable_across_scales(self, tiny_pipeline, small_pipeline):
+        tiny_top = [row["policy"] for row in run_experiment("figure1", tiny_pipeline).rows[:3]]
+        small_top = [row["policy"] for row in run_experiment("figure1", small_pipeline).rows[:3]]
+        assert tiny_top[0] == small_top[0] == "ObjectAgePolicy"
+        assert set(tiny_top) & set(small_top) >= {"ObjectAgePolicy", "TagPolicy"}
+
+    def test_table2_shape_stable_across_scales(self, tiny_pipeline, small_pipeline):
+        tiny = run_experiment("table2", tiny_pipeline)
+        small = run_experiment("table2", small_pipeline)
+        for threshold in (0.5, 0.8, 0.9):
+            assert abs(
+                tiny.measured(f"non_harmful_at_{threshold}")
+                - small.measured(f"non_harmful_at_{threshold}")
+            ) < 0.1

@@ -1,0 +1,161 @@
+"""Tests for the MRF pipeline, base classes and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mrf.base import PASS_ACTION, MRFDecision, PolicyStats, Verdict
+from repro.mrf.custom import CustomPolicy
+from repro.mrf.noop import DropPolicy, NoOpPolicy
+from repro.mrf.pipeline import MRFPipeline
+from repro.mrf.registry import (
+    BUILTIN_POLICY_DESCRIPTIONS,
+    all_known_policy_names,
+    builtin_policy_names,
+    create_policy,
+    default_policies,
+    describe_policy,
+    is_builtin,
+    observed_custom_policy_names,
+)
+from repro.mrf.simple import SimplePolicy
+from repro.mrf.threads import EnsureRePrepended
+
+
+class TestPipeline:
+    def test_empty_pipeline_accepts(self, sample_activity):
+        pipeline = MRFPipeline(local_domain="alpha.example")
+        decision = pipeline.filter(sample_activity, now=10.0)
+        assert decision.accepted
+        assert decision.action == PASS_ACTION
+
+    def test_duplicate_policy_rejected(self):
+        pipeline = MRFPipeline(local_domain="alpha.example")
+        pipeline.add_policy(NoOpPolicy())
+        with pytest.raises(ValueError):
+            pipeline.add_policy(NoOpPolicy())
+
+    def test_remove_policy(self):
+        pipeline = MRFPipeline(local_domain="alpha.example")
+        pipeline.add_policy(NoOpPolicy())
+        assert pipeline.remove_policy("NoOpPolicy")
+        assert not pipeline.remove_policy("NoOpPolicy")
+        assert pipeline.policy_names == []
+
+    def test_short_circuits_on_reject(self, sample_activity):
+        pipeline = MRFPipeline(local_domain="alpha.example")
+        pipeline.add_policy(DropPolicy())
+        pipeline.add_policy(NoOpPolicy())
+        decision = pipeline.filter(sample_activity, now=10.0)
+        assert decision.rejected
+        assert decision.policy == "DropPolicy"
+
+    def test_rewrites_compose(self, sample_activity):
+        pipeline = MRFPipeline(local_domain="alpha.example")
+        pipeline.add_policy(SimplePolicy(media_nsfw=["beta.example"]))
+        pipeline.add_policy(EnsureRePrepended())
+        decision = pipeline.filter(sample_activity, now=10.0)
+        assert decision.accepted
+        assert decision.modified
+        assert decision.activity.post.sensitive
+
+    def test_events_logged_for_rewrites_and_rejects(self, sample_activity):
+        pipeline = MRFPipeline(local_domain="alpha.example")
+        pipeline.add_policy(SimplePolicy(media_nsfw=["beta.example"]))
+        pipeline.filter(sample_activity, now=10.0)
+        assert len(pipeline.events) == 1
+        assert pipeline.events[0].accepted
+
+    def test_no_event_for_pure_pass(self, sample_activity):
+        pipeline = MRFPipeline(local_domain="alpha.example")
+        pipeline.add_policy(NoOpPolicy())
+        pipeline.filter(sample_activity, now=10.0)
+        assert pipeline.events == []
+
+    def test_simple_policy_config_exposed(self):
+        pipeline = MRFPipeline(local_domain="alpha.example")
+        pipeline.add_policy(SimplePolicy(reject=["bad.example"]))
+        assert pipeline.simple_policy_config() == {"reject": ["bad.example"]}
+
+    def test_describe_lists_policies(self):
+        pipeline = MRFPipeline(local_domain="alpha.example")
+        pipeline.add_policy(NoOpPolicy())
+        assert pipeline.describe()[0]["name"] == "NoOpPolicy"
+
+
+class TestPolicyStats:
+    def test_record_counts(self, sample_activity):
+        stats = PolicyStats()
+        accept = MRFDecision(verdict=Verdict.ACCEPT, activity=sample_activity)
+        reject = MRFDecision(
+            verdict=Verdict.REJECT, activity=sample_activity, action="reject"
+        )
+        rewrite = MRFDecision(
+            verdict=Verdict.ACCEPT, activity=sample_activity, action="media_removal"
+        )
+        for decision in (accept, reject, rewrite):
+            stats.record(decision)
+        assert stats.seen == 3
+        assert stats.rejected == 1
+        assert stats.rewritten == 1
+        assert stats.by_action == {"reject": 1, "media_removal": 1}
+
+
+class TestRegistry:
+    def test_paper_policy_type_counts(self):
+        assert len(builtin_policy_names()) == 26
+        assert len(observed_custom_policy_names()) == 20
+        assert len(all_known_policy_names()) == 46
+
+    def test_builtin_descriptions_complete(self):
+        for name in builtin_policy_names():
+            assert BUILTIN_POLICY_DESCRIPTIONS[name]
+
+    def test_is_builtin(self):
+        assert is_builtin("SimplePolicy")
+        assert not is_builtin("RejectCloudflarePolicy")
+
+    def test_create_policy_builtin(self):
+        policy = create_policy("HellthreadPolicy", delist_threshold=5)
+        assert policy.name == "HellthreadPolicy"
+        assert policy.config()["delist_threshold"] == 5
+
+    def test_create_policy_unknown_is_custom(self):
+        policy = create_policy("RacismRemover")
+        assert isinstance(policy, CustomPolicy)
+        assert policy.name == "RacismRemover"
+
+    def test_every_builtin_constructs_and_has_matching_name(self):
+        for name in builtin_policy_names():
+            policy = create_policy(name)
+            assert policy.name == name
+
+    def test_default_policies(self):
+        names = [policy.name for policy in default_policies()]
+        assert names == ["ObjectAgePolicy", "NoOpPolicy"]
+
+    def test_describe_policy_fallback(self):
+        assert "admin-created" in describe_policy("SomethingNew")
+
+
+class TestCustomPolicy:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            CustomPolicy(name="")
+
+    def test_default_passthrough(self, sample_activity, mrf_context):
+        policy = CustomPolicy(name="Mystery")
+        assert policy.filter(sample_activity, mrf_context).accepted
+
+    def test_behaviour_can_reject(self, sample_activity, mrf_context):
+        policy = CustomPolicy(name="Blocker", behaviour=lambda activity, ctx: None)
+        assert policy.filter(sample_activity, mrf_context).rejected
+
+    def test_behaviour_can_rewrite(self, sample_activity, mrf_context):
+        def rewrite(activity, ctx):
+            return activity.with_flag("seen", True)
+
+        policy = CustomPolicy(name="Rewriter", behaviour=rewrite)
+        decision = policy.filter(sample_activity, mrf_context)
+        assert decision.accepted and decision.modified
+        assert decision.activity.extra["seen"] is True
