@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Run the perf harness and emit ``BENCH_<scenario>.json`` files.
+
+This is deliberately *not* a pytest module: the tier-1 test run stays fast
+and unaffected.  Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --scenario small --scenario large
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --out-dir benchmarks/results
+
+See PERFORMANCE.md for what each number means.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+if __package__ is None or __package__ == "":  # pragma: no cover - script mode
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.perf.harness import BenchReport, run_scenario, write_bench_json
+from repro.synth.scenario import SCENARIOS
+
+
+def _print_report(report: BenchReport) -> None:
+    print(f"== {report.scenario} (seed {report.seed}) ==")
+    print(
+        "   dataset: "
+        + ", ".join(f"{key}={value}" for key, value in report.dataset.items())
+    )
+    for section, metrics in report.metrics.items():
+        speedup = metrics.get("speedup", 0.0)
+        naive = metrics.get("naive_seconds", 0.0)
+        fast = (
+            metrics.get("indexed_seconds")
+            or metrics.get("single_pass_seconds")
+            or metrics.get("optimised_seconds")
+            or 0.0
+        )
+        print(
+            f"   {section:16s} {fast * 1000:9.2f} ms vs {naive * 1000:9.2f} ms naive"
+            f"  -> {speedup:6.1f}x"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="scenario(s) to benchmark (default: small and large)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--campaign-days", type=float, default=2.0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="where BENCH_<scenario>.json files are written (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    scenarios = tuple(args.scenario) if args.scenario else ("small", "large")
+
+    for scenario in scenarios:
+        report = run_scenario(
+            scenario,
+            seed=args.seed,
+            campaign_days=args.campaign_days,
+            repeats=args.repeats,
+        )
+        path = write_bench_json(report, args.out_dir)
+        _print_report(report)
+        print(f"   wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

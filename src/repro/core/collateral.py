@@ -9,7 +9,7 @@ thresholds (Table 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.harmfulness import HarmfulnessLabeller, UserLabel
 from repro.datasets.store import Dataset
@@ -80,43 +80,83 @@ class CollateralAnalyzer:
             record.domain for record in dataset.pleroma_instances()
         }
         self._label_cache: dict[str, list[UserLabel]] = {}
+        self._rejected_cache: list[str] | None = None
+        self._with_posts_cache: list[str] | None = None
+        self._analysed_cache: list[str] | None = None
+        self._analysed_labels_cache: list[UserLabel] | None = None
+        self._analysed_max_scores_cache: list[float] | None = None
+        self._breakdown_cache: dict[float, list[InstanceCollateral]] = {}
 
     # ------------------------------------------------------------------ #
     # Scope: rejected Pleroma instances with collected posts, multi-user
     # ------------------------------------------------------------------ #
     def rejected_pleroma_domains(self) -> list[str]:
         """Return every rejected Pleroma domain."""
-        return [
-            domain
-            for domain in self.dataset.rejected_domains()
-            if domain in self._pleroma_domains
-        ]
+        if self._rejected_cache is None:
+            self._rejected_cache = [
+                domain
+                for domain in self.dataset.rejected_domains()
+                if domain in self._pleroma_domains
+            ]
+        return list(self._rejected_cache)
 
     def domains_with_posts(self) -> list[str]:
         """Return rejected Pleroma domains for which posts were collected."""
-        return [
-            domain
-            for domain in self.rejected_pleroma_domains()
-            if self.dataset.posts_from(domain)
-        ]
+        if self._with_posts_cache is None:
+            self._with_posts_cache = [
+                domain
+                for domain in self.rejected_pleroma_domains()
+                if self.dataset.posts_from(domain)
+            ]
+        return list(self._with_posts_cache)
 
     def analysed_domains(self) -> list[str]:
         """Return the domains entering the collateral analysis.
 
         Following the paper, single-user instances are excluded: a single
-        harmful admin-owner is not collateral damage.
+        harmful admin-owner is not collateral damage.  The scope — like the
+        user labels behind it — only depends on the dataset, never on a
+        threshold, so it is computed once per analyzer.
         """
-        domains = []
-        for domain in self.domains_with_posts():
-            labels = self._labels_for(domain)
-            if len(labels) > 1:
-                domains.append(domain)
-        return domains
+        if self._analysed_cache is None:
+            self._analysed_cache = [
+                domain
+                for domain in self.domains_with_posts()
+                if len(self._labels_for(domain)) > 1
+            ]
+        return list(self._analysed_cache)
 
     def _labels_for(self, domain: str) -> list[UserLabel]:
         if domain not in self._label_cache:
             self._label_cache[domain] = self.labeller.label_users_on(domain)
         return self._label_cache[domain]
+
+    def _analysed_labels(self) -> list[UserLabel]:
+        """Return every analysed instance's user labels as one flat list.
+
+        This is the per-user mean-score-vector table the whole Table 2
+        sweep derives from: each sweep point only re-thresholds these cached
+        vectors instead of re-running the aggregation.
+        """
+        if self._analysed_labels_cache is None:
+            self._analysed_labels_cache = [
+                label
+                for domain in self.analysed_domains()
+                for label in self._labels_for(domain)
+            ]
+        return self._analysed_labels_cache
+
+    def _analysed_max_scores(self) -> list[float]:
+        """Return each analysed user's maximum mean attribute score.
+
+        A user is harmful at ``threshold`` iff their max mean score reaches
+        it, so this float vector is all a sweep point needs to look at.
+        """
+        if self._analysed_max_scores_cache is None:
+            self._analysed_max_scores_cache = [
+                label.mean_scores.max_score for label in self._analysed_labels()
+            ]
+        return self._analysed_max_scores_cache
 
     # ------------------------------------------------------------------ #
     # Figure 6: per-instance user labels
@@ -125,6 +165,9 @@ class CollateralAnalyzer:
         self, threshold: float = HARMFUL_THRESHOLD
     ) -> list[InstanceCollateral]:
         """Return the Figure 6 stacked bars, sorted by labelled users."""
+        cached = self._breakdown_cache.get(threshold)
+        if cached is not None:
+            return [replace(row) for row in cached]
         rows = []
         for domain in self.analysed_domains():
             labels = self._labels_for(domain)
@@ -143,7 +186,8 @@ class CollateralAnalyzer:
                     row.non_harmful_users += 1
             rows.append(row)
         rows.sort(key=lambda row: (-row.labelled_users, row.domain))
-        return rows
+        self._breakdown_cache[threshold] = rows
+        return [replace(row) for row in rows]
 
     # ------------------------------------------------------------------ #
     # Section 5 scalars + Table 2 threshold sweep
@@ -170,16 +214,15 @@ class CollateralAnalyzer:
         summary.analysed_instances = len(summary.per_instance)
 
         attribute_counts = {attribute.value: 0 for attribute in Attribute}
-        for domain in self.analysed_domains():
-            for label in self._labels_for(domain):
-                summary.labelled_users += 1
-                summary.labelled_posts += label.post_count
-                summary.harmful_posts += label.harmful_post_count
-                attributes = label.harmful_attributes(threshold)
-                if attributes:
-                    summary.harmful_users += 1
-                    for attribute in attributes:
-                        attribute_counts[attribute.value] += 1
+        for label in self._analysed_labels():
+            summary.labelled_users += 1
+            summary.labelled_posts += label.post_count
+            summary.harmful_posts += label.harmful_post_count
+            attributes = label.harmful_attributes(threshold)
+            if attributes:
+                summary.harmful_users += 1
+                for attribute in attributes:
+                    attribute_counts[attribute.value] += 1
 
         if summary.labelled_users:
             summary.harmful_user_share = summary.harmful_users / summary.labelled_users
@@ -198,8 +241,40 @@ class CollateralAnalyzer:
     def threshold_sweep(
         self, thresholds: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9)
     ) -> dict[float, float]:
-        """Return the Table 2 sweep: threshold -> non-harmful user share."""
+        """Return the Table 2 sweep: threshold -> non-harmful user share.
+
+        Every post is scored exactly once (the labeller memoizes per-user
+        mean score vectors); each sweep point is then a single pass over the
+        cached label list rather than a full :meth:`summary` recomputation.
+        The arithmetic mirrors :meth:`summary` exactly: ``1.0 - harmful /
+        labelled``, and ``0.0`` when nothing was labelled.
+        """
+        max_scores = self._analysed_max_scores()
+        count = len(max_scores)
         sweep = {}
         for threshold in thresholds:
-            sweep[threshold] = self.summary(threshold).non_harmful_user_share
+            if count:
+                harmful = sum(1 for score in max_scores if score >= threshold)
+                sweep[threshold] = 1.0 - harmful / count
+            else:
+                sweep[threshold] = 0.0
         return sweep
+
+    def invalidate_caches(self) -> None:
+        """Drop every derived cache (after the dataset or labeller changed).
+
+        Also drops the labeller's memoized user labels and re-snapshots the
+        Pleroma domain set, so the next computation sees the dataset as it
+        is now rather than as it was at construction time.
+        """
+        self.labeller.invalidate_labels()
+        self._pleroma_domains = {
+            record.domain for record in self.dataset.pleroma_instances()
+        }
+        self._label_cache.clear()
+        self._breakdown_cache.clear()
+        self._rejected_cache = None
+        self._with_posts_cache = None
+        self._analysed_cache = None
+        self._analysed_labels_cache = None
+        self._analysed_max_scores_cache = None

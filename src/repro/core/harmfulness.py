@@ -71,6 +71,7 @@ class HarmfulnessLabeller:
         self.dataset = dataset
         self.client = client or PerspectiveClient()
         self.threshold = threshold
+        self._user_labels: dict[tuple[str, float], UserLabel | None] = {}
 
     # ------------------------------------------------------------------ #
     # Post-level scoring
@@ -81,7 +82,8 @@ class HarmfulnessLabeller:
 
     def score_posts(self, posts: list[PostRecord]) -> list[AttributeScores]:
         """Score several posts, preserving order."""
-        return [self.score_post(post) for post in posts]
+        results = self.client.analyze_many([post.content for post in posts])
+        return [result.scores for result in results]
 
     def is_harmful_post(self, post: PostRecord, threshold: float | None = None) -> bool:
         """Return ``True`` when any attribute of the post reaches the threshold."""
@@ -91,7 +93,21 @@ class HarmfulnessLabeller:
     # User-level labelling
     # ------------------------------------------------------------------ #
     def label_user(self, handle: str) -> UserLabel | None:
-        """Label one user from their collected posts (``None`` if none)."""
+        """Label one user from their collected posts (``None`` if none).
+
+        Labels are memoized per (handle, threshold): the mean score vector
+        never depends on a threshold (one memo entry serves every sweep
+        point), but ``harmful_post_count`` is computed at ``self.threshold``,
+        so changing the labeller's threshold transparently recomputes.
+        """
+        key = (handle, self.threshold)
+        if key in self._user_labels:
+            return self._user_labels[key]
+        label = self._label_user_uncached(handle)
+        self._user_labels[key] = label
+        return label
+
+    def _label_user_uncached(self, handle: str) -> UserLabel | None:
         posts = self.dataset.posts_by(handle)
         if not posts:
             return None
@@ -107,14 +123,14 @@ class HarmfulnessLabeller:
             harmful_post_count=harmful_posts,
         )
 
+    def invalidate_labels(self) -> None:
+        """Drop memoized user labels (after the dataset or lexicon changed)."""
+        self._user_labels.clear()
+
     def label_users_on(self, domain: str) -> list[UserLabel]:
         """Label every user (with collected posts) registered on ``domain``."""
         labels = []
-        handles = {
-            user.handle
-            for user in self.dataset.users.values()
-            if user.domain == domain
-        }
+        handles = {user.handle for user in self.dataset.users_on(domain)}
         for handle in sorted(handles):
             label = self.label_user(handle)
             if label is not None:

@@ -22,6 +22,12 @@ class Dataset:
     (instances by domain, posts by author/origin, policy settings by policy
     name, moderation edges by source/target) while keeping the underlying
     data as flat record lists that can be exported and reloaded.
+
+    Every secondary index is maintained incrementally at ingestion time, so
+    all lookups are O(result) instead of O(records).  The flat lists remain
+    the source of truth for iteration order and serialisation; the indices
+    preserve that order (records are appended to their buckets in flat-list
+    order), which keeps every accessor's result identical to a naive scan.
     """
 
     def __init__(self) -> None:
@@ -33,6 +39,21 @@ class Dataset:
         self._posts_by_author: dict[str, list[PostRecord]] = defaultdict(list)
         self._posts_by_origin: dict[str, list[PostRecord]] = defaultdict(list)
         self._seen_post_keys: set[tuple[str, str]] = set()
+        self._local_post_count = 0
+        # Moderation-edge indices.
+        self._edge_set: set[RejectEdge] = set()
+        self._edges_by_source: dict[str, list[RejectEdge]] = defaultdict(list)
+        self._edges_by_target: dict[str, list[RejectEdge]] = defaultdict(list)
+        self._edges_by_action: dict[str, list[RejectEdge]] = defaultdict(list)
+        self._rejects_received: dict[str, int] = defaultdict(int)
+        self._rejects_applied: dict[str, int] = defaultdict(int)
+        self._moderated_targets: set[str] = set()
+        self._reject_targets: set[str] = set()
+        # Policy-setting indices.
+        self._policies_by_domain: dict[str, list[PolicySettingRecord]] = defaultdict(list)
+        self._policies_by_name: dict[str, list[PolicySettingRecord]] = defaultdict(list)
+        # User index (bucket order mirrors ``users`` dict insertion order).
+        self._users_by_domain: dict[str, list[UserRecord]] = defaultdict(list)
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -44,23 +65,48 @@ class Dataset:
     def add_policy_setting(self, record: PolicySettingRecord) -> None:
         """Add one policy-setting record."""
         self.policy_settings.append(record)
+        self._policies_by_domain[record.domain].append(record)
+        self._policies_by_name[record.policy].append(record)
 
     def add_reject_edge(self, edge: RejectEdge) -> None:
         """Add one moderation edge (deduplicated)."""
-        if edge not in self.reject_edges:
-            self.reject_edges.append(edge)
+        if edge in self._edge_set:
+            return
+        self._edge_set.add(edge)
+        self.reject_edges.append(edge)
+        self._edges_by_source[edge.source].append(edge)
+        self._edges_by_target[edge.target].append(edge)
+        self._edges_by_action[edge.action].append(edge)
+        self._moderated_targets.add(edge.target)
+        if edge.action == "reject":
+            self._reject_targets.add(edge.target)
+            self._rejects_received[edge.target] += 1
+            self._rejects_applied[edge.source] += 1
 
     def add_reject_edges(self, edges: Iterable[RejectEdge]) -> None:
         """Add several moderation edges."""
-        existing = set(self.reject_edges)
         for edge in edges:
-            if edge not in existing:
-                self.reject_edges.append(edge)
-                existing.add(edge)
+            self.add_reject_edge(edge)
 
     def add_user(self, record: UserRecord) -> None:
         """Add or replace one user record."""
+        old = self.users.get(record.handle)
         self.users[record.handle] = record
+        if old is None:
+            self._users_by_domain[record.domain].append(record)
+        elif old.domain == record.domain:
+            bucket = self._users_by_domain[record.domain]
+            bucket[bucket.index(old)] = record
+        else:
+            # Replacement moved the user between domains: rebuild the index
+            # so bucket order keeps mirroring the ``users`` dict order.
+            self._rebuild_user_index()
+
+    def _rebuild_user_index(self) -> None:
+        index: dict[str, list[UserRecord]] = defaultdict(list)
+        for user in self.users.values():
+            index[user.domain].append(user)
+        self._users_by_domain = index
 
     def add_post(self, record: PostRecord) -> None:
         """Add one post record (deduplicated on (origin, post id))."""
@@ -71,6 +117,8 @@ class Dataset:
         self.posts.append(record)
         self._posts_by_author[record.author].append(record)
         self._posts_by_origin[record.domain].append(record)
+        if record.is_local:
+            self._local_post_count += 1
 
     # ------------------------------------------------------------------ #
     # Instance-level lookups
@@ -112,66 +160,54 @@ class Dataset:
     def policy_settings_for(self, domain: str) -> list[PolicySettingRecord]:
         """Return the policy settings observed on ``domain``."""
         domain = normalise_domain(domain)
-        return [record for record in self.policy_settings if record.domain == domain]
+        return list(self._policies_by_domain.get(domain, ()))
 
     def instances_with_policy(self, policy: str) -> list[str]:
         """Return the domains that enable ``policy``."""
         return sorted(
-            {record.domain for record in self.policy_settings if record.policy == policy}
+            {record.domain for record in self._policies_by_name.get(policy, ())}
         )
 
     def policy_names(self) -> list[str]:
         """Return every distinct policy name observed."""
-        return sorted({record.policy for record in self.policy_settings})
+        return sorted(self._policies_by_name)
 
     def simple_policy_settings(self) -> list[PolicySettingRecord]:
         """Return only the SimplePolicy settings."""
-        return [record for record in self.policy_settings if record.policy == "SimplePolicy"]
+        return list(self._policies_by_name.get("SimplePolicy", ()))
 
     # ------------------------------------------------------------------ #
     # Moderation-edge lookups
     # ------------------------------------------------------------------ #
     def edges_by_action(self, action: str) -> list[RejectEdge]:
         """Return the moderation edges carrying ``action``."""
-        return [edge for edge in self.reject_edges if edge.action == action]
+        return list(self._edges_by_action.get(action, ()))
 
     def edges_targeting(self, domain: str) -> list[RejectEdge]:
         """Return the moderation edges whose target is ``domain``."""
         domain = normalise_domain(domain)
-        return [edge for edge in self.reject_edges if edge.target == domain]
+        return list(self._edges_by_target.get(domain, ()))
 
     def edges_from(self, domain: str) -> list[RejectEdge]:
         """Return the moderation edges applied by ``domain``."""
         domain = normalise_domain(domain)
-        return [edge for edge in self.reject_edges if edge.source == domain]
+        return list(self._edges_by_source.get(domain, ()))
 
     def rejects_received(self, domain: str) -> int:
         """Return how many reject actions target ``domain``."""
-        domain = normalise_domain(domain)
-        return sum(
-            1
-            for edge in self.reject_edges
-            if edge.target == domain and edge.action == "reject"
-        )
+        return self._rejects_received.get(normalise_domain(domain), 0)
 
     def rejects_applied(self, domain: str) -> int:
         """Return how many reject actions ``domain`` applies to others."""
-        domain = normalise_domain(domain)
-        return sum(
-            1
-            for edge in self.reject_edges
-            if edge.source == domain and edge.action == "reject"
-        )
+        return self._rejects_applied.get(normalise_domain(domain), 0)
 
     def rejected_domains(self) -> list[str]:
         """Return every domain targeted by at least one reject action."""
-        return sorted(
-            {edge.target for edge in self.reject_edges if edge.action == "reject"}
-        )
+        return sorted(self._reject_targets)
 
     def moderated_domains(self) -> list[str]:
         """Return every domain targeted by at least one action of any kind."""
-        return sorted({edge.target for edge in self.reject_edges})
+        return sorted(self._moderated_targets)
 
     # ------------------------------------------------------------------ #
     # User and post lookups
@@ -179,7 +215,7 @@ class Dataset:
     def users_on(self, domain: str) -> list[UserRecord]:
         """Return the user records registered on ``domain``."""
         domain = normalise_domain(domain)
-        return [user for user in self.users.values() if user.domain == domain]
+        return list(self._users_by_domain.get(domain, ()))
 
     def posts_by(self, handle: str) -> list[PostRecord]:
         """Return the posts authored by ``handle``."""
@@ -203,27 +239,38 @@ class Dataset:
     # Headline statistics (Section 3 of the paper)
     # ------------------------------------------------------------------ #
     def stats(self) -> dict[str, float]:
-        """Return the headline dataset statistics."""
-        pleroma = self.pleroma_instances()
-        reachable = [r for r in pleroma if r.reachable]
-        total_users = sum(r.user_count for r in reachable)
+        """Return the headline dataset statistics (one pass over the indices)."""
+        pleroma_count = 0
+        reachable_count = 0
+        total_users = 0
+        total_statuses = 0
+        for record in self.instances.values():
+            if not record.is_pleroma:
+                continue
+            pleroma_count += 1
+            if record.reachable:
+                reachable_count += 1
+                total_users += record.user_count
+                total_statuses += record.status_count
         users_observed = len(self.users)
-        users_with_posts = len(self.users_with_posts())
+        users_with_posts = sum(
+            1 for user in self.users.values() if self._posts_by_author.get(user.handle)
+        )
         return {
             "instances_total": len(self.instances),
-            "pleroma_instances": len(pleroma),
-            "non_pleroma_instances": len(self.instances) - len(pleroma),
-            "crawlable_pleroma_instances": len(reachable),
-            "uncrawlable_pleroma_instances": len(pleroma) - len(reachable),
+            "pleroma_instances": pleroma_count,
+            "non_pleroma_instances": len(self.instances) - pleroma_count,
+            "crawlable_pleroma_instances": reachable_count,
+            "uncrawlable_pleroma_instances": pleroma_count - reachable_count,
             "pleroma_users": total_users,
             "observed_users": users_observed,
             "users_with_posts": users_with_posts,
             "active_user_share": (users_with_posts / users_observed) if users_observed else 0.0,
-            "total_status_count": sum(r.status_count for r in reachable),
+            "total_status_count": total_statuses,
             "collected_posts": len(self.posts),
-            "collected_local_posts": len(self.local_posts()),
+            "collected_local_posts": self._local_post_count,
             "policy_settings": len(self.policy_settings),
-            "reject_edges": len(self.edges_by_action("reject")),
+            "reject_edges": len(self._edges_by_action.get("reject", ())),
             "moderation_edges": len(self.reject_edges),
         }
 

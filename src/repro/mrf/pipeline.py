@@ -28,6 +28,7 @@ class MRFPipeline:
         self.local_domain = local_domain
         self.local_instance = local_instance
         self._policies: list[MRFPolicy] = []
+        self._by_name: dict[str, MRFPolicy] = {}
         self.events: list[ModerationEvent] = []
 
     # ------------------------------------------------------------------ #
@@ -45,28 +46,26 @@ class MRFPipeline:
 
     def add_policy(self, policy: MRFPolicy) -> None:
         """Enable a policy (appended at the end of the pipeline)."""
-        if self.has_policy(policy.name):
+        if policy.name in self._by_name:
             raise ValueError(f"policy already enabled: {policy.name}")
         self._policies.append(policy)
+        self._by_name[policy.name] = policy
 
     def remove_policy(self, name: str) -> bool:
         """Disable the policy called ``name``; return ``True`` if it existed."""
-        for index, policy in enumerate(self._policies):
-            if policy.name == name:
-                del self._policies[index]
-                return True
-        return False
+        policy = self._by_name.pop(name, None)
+        if policy is None:
+            return False
+        self._policies.remove(policy)
+        return True
 
     def has_policy(self, name: str) -> bool:
         """Return ``True`` when a policy with that name is enabled."""
-        return any(policy.name == name for policy in self._policies)
+        return name in self._by_name
 
     def get_policy(self, name: str) -> MRFPolicy | None:
         """Return the enabled policy called ``name``, or ``None``."""
-        for policy in self._policies:
-            if policy.name == name:
-                return policy
-        return None
+        return self._by_name.get(name)
 
     # ------------------------------------------------------------------ #
     # Filtering

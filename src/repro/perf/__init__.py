@@ -1,0 +1,36 @@
+"""Performance harness for the analysis hot path.
+
+The package has two halves:
+
+* :mod:`repro.perf.baselines` — seed-faithful naive implementations of the
+  hot paths (quadratic edge dedup, per-attribute scoring passes, the
+  summary-per-threshold sweep).  They are kept as executable documentation
+  of what the indexed/single-pass code replaced, and as the denominator of
+  every reported speedup.
+* :mod:`repro.perf.harness` — micro-benchmarks timing ingestion, scoring
+  throughput and the Table 2 threshold sweep on named scenarios, emitting a
+  machine-readable ``BENCH_<scenario>.json`` so the speedup trajectory can
+  be tracked across PRs.
+
+Run it via ``python benchmarks/run_benchmarks.py`` (see PERFORMANCE.md).
+"""
+
+from repro.perf.harness import (
+    BenchReport,
+    bench_ingestion,
+    bench_scoring,
+    bench_sweep,
+    run_harness,
+    run_scenario,
+    write_bench_json,
+)
+
+__all__ = [
+    "BenchReport",
+    "bench_ingestion",
+    "bench_scoring",
+    "bench_sweep",
+    "run_harness",
+    "run_scenario",
+    "write_bench_json",
+]

@@ -1,0 +1,118 @@
+"""Seed-faithful naive implementations of the analysis hot paths.
+
+Each function reproduces, line for line where possible, the algorithm the
+seed implementation used before the indexed-dataset/single-pass-scoring
+rework.  The perf harness times them against the optimised paths and — just
+as importantly — asserts that both produce identical results, which turns
+every benchmark run into an equivalence check at scale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.collateral import InstanceCollateral
+from repro.core.harmfulness import UserLabel
+from repro.datasets.schema import RejectEdge
+from repro.datasets.store import Dataset
+from repro.perspective.attributes import ATTRIBUTES, Attribute, AttributeScores
+from repro.perspective.scorer import LexiconScorer, score_for_density
+from repro.perspective.lexicon import tokenize
+
+
+def naive_add_reject_edges(edges: Iterable[RejectEdge]) -> list[RejectEdge]:
+    """The seed's ``Dataset.add_reject_edge`` loop: O(edges) per insert.
+
+    Every insert scans the flat list for a duplicate, so ingesting N edges
+    costs O(N^2) comparisons — the quadratic behaviour the dedup set kills.
+    """
+    stored: list[RejectEdge] = []
+    for edge in edges:
+        if edge not in stored:
+            stored.append(edge)
+    return stored
+
+
+def naive_score_many(scorer: LexiconScorer, texts: list[str]) -> list[AttributeScores]:
+    """The seed's scoring loop: one full token pass per attribute per text."""
+    results = []
+    for text in texts:
+        tokens = tokenize(text)
+        if not tokens:
+            results.append(AttributeScores())
+            continue
+        values = {}
+        for attribute in ATTRIBUTES:
+            table = scorer.lexicon.terms[attribute]
+            hits = sum(table.get(token, 0.0) for token in tokens)
+            values[attribute.value] = score_for_density(
+                hits / len(tokens), scorer.gain, scorer.ceiling
+            )
+        results.append(AttributeScores(**values))
+    return results
+
+
+def naive_threshold_sweep(
+    dataset: Dataset,
+    label_lookup: Callable[[str], list[UserLabel]],
+    thresholds: tuple[float, ...],
+) -> dict[float, float]:
+    """The seed's ``CollateralAnalyzer.threshold_sweep``: full summary per point.
+
+    For every threshold the seed recomputed the analysis scope from the flat
+    record lists (rejected domains from an O(edges) set-comprehension plus
+    sort, posts-with checks, the single-user filter) and rebuilt the whole
+    Figure 6 per-instance breakdown, even though only the final scalar is
+    needed.  ``label_lookup`` must be warm so both sweeps compare pure
+    aggregation cost, not Perspective scoring cost (the seed cached labels
+    across sweep points too).
+    """
+    pleroma_domains = {record.domain for record in dataset.pleroma_instances()}
+    sweep: dict[float, float] = {}
+    for threshold in thresholds:
+        rejected = [
+            domain
+            for domain in sorted(
+                {edge.target for edge in dataset.reject_edges if edge.action == "reject"}
+            )
+            if domain in pleroma_domains
+        ]
+        with_posts = [domain for domain in rejected if dataset.posts_from(domain)]
+        analysed = [domain for domain in with_posts if len(label_lookup(domain)) > 1]
+
+        # Figure 6 breakdown, rebuilt per threshold exactly as summary() did.
+        rows = []
+        for domain in analysed:
+            row = InstanceCollateral(domain=domain)
+            for label in label_lookup(domain):
+                attributes = label.harmful_attributes(threshold)
+                if attributes:
+                    row.harmful_users += 1
+                    if Attribute.TOXICITY in attributes:
+                        row.toxic_users += 1
+                    if Attribute.PROFANITY in attributes:
+                        row.profane_users += 1
+                    if Attribute.SEXUALLY_EXPLICIT in attributes:
+                        row.sexually_explicit_users += 1
+                else:
+                    row.non_harmful_users += 1
+            rows.append(row)
+        rows.sort(key=lambda row: (-row.labelled_users, row.domain))
+
+        labelled_users = 0
+        harmful_users = 0
+        attribute_counts = {attribute.value: 0 for attribute in Attribute}
+        for domain in analysed:
+            for label in label_lookup(domain):
+                labelled_users += 1
+                attributes = label.harmful_attributes(threshold)
+                if attributes:
+                    harmful_users += 1
+                    for attribute in attributes:
+                        attribute_counts[attribute.value] += 1
+
+        if labelled_users:
+            sweep[threshold] = 1.0 - harmful_users / labelled_users
+        else:
+            sweep[threshold] = 0.0
+    return sweep

@@ -54,17 +54,26 @@ class PerspectiveClient:
         Maximum number of (non-cached) requests per window; ``None`` means
         unlimited.  The real API enforces a per-minute quota, which the
         paper's five-month campaign had to respect.
+    max_cache_size:
+        Optional bound on the text-keyed score cache.  ``None`` (the
+        default) keeps every score, which is what the analysis pipeline
+        wants; a bound turns the cache into an LRU for long-running
+        services that cannot hold every text in memory.
     """
 
     def __init__(
         self,
         scorer: LexiconScorer | None = None,
         quota_per_window: int | None = None,
+        max_cache_size: int | None = None,
     ) -> None:
         if quota_per_window is not None and quota_per_window <= 0:
             raise ValueError("quota_per_window must be positive (or None)")
+        if max_cache_size is not None and max_cache_size <= 0:
+            raise ValueError("max_cache_size must be positive (or None)")
         self.scorer = scorer or LexiconScorer()
         self.quota_per_window = quota_per_window
+        self.max_cache_size = max_cache_size
         self.stats = ClientStats()
         self._cache: dict[str, AttributeScores] = {}
         self._window_requests = 0
@@ -90,6 +99,30 @@ class PerspectiveClient:
         self._window_requests += 1
 
     # ------------------------------------------------------------------ #
+    # Cache management
+    # ------------------------------------------------------------------ #
+    def _cache_get(self, text: str) -> AttributeScores | None:
+        if self.max_cache_size is None:
+            return self._cache.get(text)
+        scores = self._cache.pop(text, None)
+        if scores is not None:
+            self._cache[text] = scores  # re-insert: most recently used last
+        return scores
+
+    def _cache_put(self, text: str, scores: AttributeScores) -> None:
+        if self.max_cache_size is not None and len(self._cache) >= self.max_cache_size:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[text] = scores
+
+    def _count_request(self, attributes: tuple[Attribute, ...]) -> None:
+        self.stats.requests += 1
+        self.stats.analyzed_texts += 1
+        for attribute in attributes:
+            self.stats.per_attribute_requests[attribute.value] = (
+                self.stats.per_attribute_requests.get(attribute.value, 0) + 1
+            )
+
+    # ------------------------------------------------------------------ #
     # Analysis
     # ------------------------------------------------------------------ #
     def analyze(
@@ -98,25 +131,70 @@ class PerspectiveClient:
         attributes: tuple[Attribute, ...] = ATTRIBUTES,
     ) -> AnalysisResult:
         """Analyse one text, using the cache when possible."""
-        cached = self._cache.get(text)
+        cached = self._cache_get(text)
         if cached is not None:
             self.stats.cache_hits += 1
             return AnalysisResult(text=text, scores=cached, cached=True)
 
         self._charge_quota()
-        self.stats.requests += 1
-        self.stats.analyzed_texts += 1
-        for attribute in attributes:
-            self.stats.per_attribute_requests[attribute.value] = (
-                self.stats.per_attribute_requests.get(attribute.value, 0) + 1
-            )
+        self._count_request(attributes)
         scores = self.scorer.score(text)
-        self._cache[text] = scores
+        self._cache_put(text, scores)
         return AnalysisResult(text=text, scores=scores)
 
-    def analyze_many(self, texts: list[str]) -> list[AnalysisResult]:
-        """Analyse several texts in submission order."""
-        return [self.analyze(text) for text in texts]
+    def analyze_many(
+        self,
+        texts: list[str],
+        attributes: tuple[Attribute, ...] = ATTRIBUTES,
+    ) -> list[AnalysisResult]:
+        """Analyse several texts in submission order.
+
+        A genuine batch path: distinct uncached texts are collected first
+        and scored with one :meth:`LexiconScorer.score_many` call, while
+        cache semantics, usage counters and quota charging stay identical
+        to calling :meth:`analyze` per text (duplicates within the batch
+        count as cache hits, and quota is charged per distinct new text in
+        submission order).
+        """
+        if self.max_cache_size is not None:
+            # A bounded LRU makes batch ordering observable (an entry can be
+            # evicted between this method's lookup and scoring phases), so
+            # take the sequential path literally to keep the guarantee.
+            return [self.analyze(text, attributes) for text in texts]
+        results: list[AnalysisResult | None] = [None] * len(texts)
+        order: list[str] = []
+        slots: dict[str, list[int]] = {}
+        try:
+            for index, text in enumerate(texts):
+                known = slots.get(text)
+                if known is not None:
+                    # Duplicate of a text charged earlier in this batch: the
+                    # sequential path would have served it from the cache.
+                    self.stats.cache_hits += 1
+                    known.append(index)
+                    continue
+                cached = self._cache_get(text)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    results[index] = AnalysisResult(text=text, scores=cached, cached=True)
+                    continue
+                self._charge_quota()
+                self._count_request(attributes)
+                order.append(text)
+                slots[text] = [index]
+        finally:
+            # Score whatever was charged — also when the quota ran out
+            # mid-batch, so the cache ends up exactly as the sequential
+            # path would have left it.
+            for text, scores in zip(order, self.scorer.score_many(order)):
+                self._cache_put(text, scores)
+                indices = slots[text]
+                results[indices[0]] = AnalysisResult(text=text, scores=scores)
+                for duplicate in indices[1:]:
+                    results[duplicate] = AnalysisResult(
+                        text=text, scores=scores, cached=True
+                    )
+        return results
 
     def clear_cache(self) -> None:
         """Drop all cached scores."""

@@ -105,16 +105,21 @@ class Lexicon:
     def __post_init__(self) -> None:
         for attribute in ATTRIBUTES:
             self.terms.setdefault(attribute, {})
+        self._merged: dict[str, tuple[float, ...]] | None = None
 
     def add_term(self, attribute: Attribute, term: str, weight: float = 1.0) -> None:
         """Add (or overwrite) a weighted term for ``attribute``."""
         if weight <= 0:
             raise ValueError("term weight must be positive")
         self.terms[attribute][term.lower()] = float(weight)
+        self._merged = None
 
     def remove_term(self, attribute: Attribute, term: str) -> bool:
         """Remove a term; return ``True`` when it was present."""
-        return self.terms[attribute].pop(term.lower(), None) is not None
+        removed = self.terms[attribute].pop(term.lower(), None) is not None
+        if removed:
+            self._merged = None
+        return removed
 
     def weight(self, attribute: Attribute, token: str) -> float:
         """Return the weight of ``token`` for ``attribute`` (0 when absent)."""
@@ -134,6 +139,47 @@ class Lexicon:
         """Return the summed weight of lexicon terms appearing in ``tokens``."""
         table = self.terms[attribute]
         return sum(table.get(token, 0.0) for token in tokens)
+
+    def merged_table(self) -> dict[str, tuple[float, ...]]:
+        """Return the token -> per-attribute weight-vector lookup table.
+
+        The table is the union of every attribute lexicon; vectors are
+        aligned with :data:`~repro.perspective.attributes.ATTRIBUTES`.  It is
+        built lazily and invalidated by :meth:`add_term`/:meth:`remove_term`,
+        so the scorer can resolve all attributes with one dict lookup per
+        token instead of one lookup per (token, attribute) pair.
+        """
+        if self._merged is None:
+            merged: dict[str, list[float]] = {}
+            for position, attribute in enumerate(ATTRIBUTES):
+                for term, weight in self.terms[attribute].items():
+                    vector = merged.get(term)
+                    if vector is None:
+                        vector = [0.0] * len(ATTRIBUTES)
+                        merged[term] = vector
+                    vector[position] = weight
+            self._merged = {term: tuple(vector) for term, vector in merged.items()}
+        return self._merged
+
+    def weighted_hits_all(self, tokens: list[str]) -> tuple[float, ...]:
+        """Return every attribute's summed hit weight in one pass.
+
+        Accumulation follows token order per attribute, exactly like calling
+        :meth:`weighted_hits` once per attribute — adding ``0.0`` is the
+        floating-point identity, so skipping non-lexicon tokens leaves each
+        attribute's partial-sum sequence (and therefore the result bits)
+        unchanged.  Keeping the seed's summation order matters: scores are
+        compared against thresholds with ``>=`` and the synthetic corpus
+        plants densities that land exactly on them.
+        """
+        merged = self.merged_table()
+        totals = [0.0] * len(ATTRIBUTES)
+        for token in tokens:
+            weights = merged.get(token)
+            if weights is not None:
+                for position, weight in enumerate(weights):
+                    totals[position] += weight
+        return tuple(totals)
 
     def size(self) -> int:
         """Return the total number of terms across all attributes."""

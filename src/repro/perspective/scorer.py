@@ -71,18 +71,32 @@ class LexiconScorer:
         return score_for_density(hits / len(tokens), self.gain, self.ceiling)
 
     def score(self, text: str) -> AttributeScores:
-        """Score ``text`` on every attribute."""
+        """Score ``text`` on every attribute with a single token pass."""
         tokens = tokenize(text)
         if not tokens:
             return AttributeScores()
-        values = {}
-        for attribute in ATTRIBUTES:
-            hits = self.lexicon.weighted_hits(attribute, tokens)
-            values[attribute.value] = score_for_density(
-                hits / len(tokens), self.gain, self.ceiling
-            )
+        all_hits = self.lexicon.weighted_hits_all(tokens)
+        count = len(tokens)
+        values = {
+            attribute.value: score_for_density(hits / count, self.gain, self.ceiling)
+            for attribute, hits in zip(ATTRIBUTES, all_hits)
+        }
         return AttributeScores(**values)
 
     def score_many(self, texts: list[str]) -> list[AttributeScores]:
-        """Score several texts, preserving order."""
-        return [self.score(text) for text in texts]
+        """Score several texts, preserving order.
+
+        A genuine batch path: identical texts are tokenized and scored once
+        (federated posts are observed from several instances), and every
+        distinct text shares the single-pass scoring structure of
+        :meth:`score`.
+        """
+        scored: dict[str, AttributeScores] = {}
+        results = []
+        for text in texts:
+            scores = scored.get(text)
+            if scores is None:
+                scores = self.score(text)
+                scored[text] = scores
+            results.append(scores)
+        return results

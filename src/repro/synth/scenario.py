@@ -19,6 +19,9 @@ SCENARIOS: dict[str, dict] = {
     "small": {"n_pleroma_instances": 150, "campaign_days": 14.0},
     # Used by most benchmarks.
     "medium": {"n_pleroma_instances": 400, "campaign_days": 30.0},
+    # Stress scale for the performance harness (see repro.perf): big enough
+    # that quadratic or per-record-scan hot paths dominate the wall clock.
+    "large": {"n_pleroma_instances": 800, "campaign_days": 30.0},
     # Instance population matching the paper's 1,534 Pleroma instances.
     "paper": {
         "n_pleroma_instances": 1534,

@@ -1,0 +1,57 @@
+"""Tests for the perf harness (run at tiny scale so tier-1 stays fast)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.harness import (
+    SWEEP_THRESHOLDS,
+    bench_ingestion,
+    bench_scoring,
+    bench_sweep,
+    run_scenario,
+    write_bench_json,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report(tmp_path_factory):
+    report = run_scenario("tiny", seed=7, campaign_days=1.0, repeats=1)
+    return report, tmp_path_factory.mktemp("bench")
+
+
+def test_report_contains_every_benchmark(tiny_report) -> None:
+    report, _ = tiny_report
+    assert set(report.metrics) == {"ingestion", "scoring", "threshold_sweep"}
+    for metrics in report.metrics.values():
+        assert metrics["speedup"] > 0.0
+        assert metrics["naive_seconds"] >= 0.0
+    assert report.metrics["scoring"]["posts_per_second"] > 0.0
+    assert report.metrics["threshold_sweep"]["thresholds"] == len(SWEEP_THRESHOLDS)
+    assert report.dataset["posts"] > 0
+
+
+def test_bench_json_is_machine_readable(tiny_report) -> None:
+    report, out_dir = tiny_report
+    path = write_bench_json(report, out_dir)
+    assert path.name == "BENCH_tiny.json"
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["scenario"] == "tiny"
+    assert payload["seed"] == 7
+    assert payload["metrics"]["ingestion"]["speedup"] > 0.0
+
+
+def test_individual_benchmarks_accept_pipeline_parts(tiny_pipeline) -> None:
+    dataset = tiny_pipeline.dataset
+    ingestion = bench_ingestion(dataset.reject_edges, repeats=1)
+    assert ingestion["workload_inserts"] == 2 * len(dataset.reject_edges)
+    scoring = bench_scoring(
+        tiny_pipeline.perspective.scorer,
+        [post.content for post in dataset.posts[:200]],
+        repeats=1,
+    )
+    assert scoring["texts"] == 200.0
+    sweep = bench_sweep(tiny_pipeline, repeats=1)
+    assert sweep["labelled_users"] > 0.0
