@@ -37,6 +37,7 @@ def _print_report(report: BenchReport) -> None:
             metrics.get("indexed_seconds")
             or metrics.get("single_pass_seconds")
             or metrics.get("optimised_seconds")
+            or metrics.get("engine_seconds")
             or 0.0
         )
         print(

@@ -17,7 +17,15 @@ from repro.activitypub.activities import (
     follow_activity,
 )
 from repro.activitypub.actors import Actor
-from repro.activitypub.delivery import DeliveryReport, FederationDelivery
+from repro.activitypub.delivery import (
+    CountingSink,
+    DeliveryReport,
+    DeliverySink,
+    FederationDelivery,
+    FederationStats,
+    ListSink,
+    StreamingEdgeSink,
+)
 
 __all__ = [
     "Activity",
@@ -27,6 +35,11 @@ __all__ = [
     "flag_activity",
     "follow_activity",
     "Actor",
+    "CountingSink",
     "DeliveryReport",
+    "DeliverySink",
     "FederationDelivery",
+    "FederationStats",
+    "ListSink",
+    "StreamingEdgeSink",
 ]

@@ -44,9 +44,10 @@ class FediverseAPIServer:
         except UnknownInstanceError:
             return HTTPResponse.error(HTTPStatus.NOT_FOUND, "unknown instance")
 
-        if not instance.availability.ok:
-            status = HTTPStatus(instance.availability.status_code)
-            return HTTPResponse.error(status, instance.availability.reason)
+        now = self.registry.clock.now()
+        if not instance.availability.ok_at(now):
+            status = HTTPStatus(instance.availability.status_at(now))
+            return HTTPResponse.error(status, instance.availability.reason_at(now))
 
         return self.router.dispatch(request)
 

@@ -27,12 +27,17 @@ def _parse_software(payload: dict[str, Any]) -> str:
 
 
 def _parse_pleroma_version(payload: dict[str, Any]) -> str:
-    """Extract the Pleroma version from the compatibility version string."""
+    """Extract the Pleroma version from the compatibility version string.
+
+    Non-Pleroma software has no ``"Pleroma "`` marker in its version string;
+    returning the raw compatibility string there would mislabel e.g. a
+    Mastodon ``"3.3.0"`` as a Pleroma version, so it yields ``""`` instead.
+    """
     version = str(payload.get("version", ""))
     marker = "Pleroma "
     if marker in version:
         return version.split(marker, 1)[1].rstrip(") ")
-    return version
+    return ""
 
 
 class InstanceCrawler:

@@ -24,14 +24,38 @@ class InstanceAvailability:
     The paper reports that 236 of the 1,534 Pleroma instances could not be
     crawled, broken down by HTTP status (404, 403, 502, 503, 410).  An
     availability of status 200 means the instance answers normally.
+
+    ``down_after`` models churn: the instance answers with ``status_code``
+    until that simulation time, then fails with ``down_status_code`` — so a
+    measurement campaign can lose instances mid-crawl (the ``churn``
+    scenario).  ``None`` (the default) keeps availability constant.
     """
 
     status_code: int = 200
     reason: str = ""
+    down_after: float | None = None
+    down_status_code: int = 503
+    down_reason: str = "instance went offline mid-campaign"
+
+    def status_at(self, now: float) -> int:
+        """Return the HTTP status the instance answers with at ``now``."""
+        if self.down_after is not None and now >= self.down_after:
+            return self.down_status_code
+        return self.status_code
+
+    def reason_at(self, now: float) -> str:
+        """Return the failure reason in effect at ``now``."""
+        if self.down_after is not None and now >= self.down_after:
+            return self.down_reason
+        return self.reason
+
+    def ok_at(self, now: float) -> bool:
+        """Return ``True`` when the instance answers API requests at ``now``."""
+        return self.status_at(now) == 200
 
     @property
     def ok(self) -> bool:
-        """Return ``True`` when the instance answers API requests."""
+        """Return ``True`` when the instance answers API requests (ignoring churn)."""
         return self.status_code == 200
 
     @property
@@ -211,10 +235,12 @@ class Instance:
         """Store a federated post accepted by the MRF pipeline."""
         if post.domain == self.domain:
             raise ValueError("receive_remote_post called with a local post")
-        self.remote_posts[post.post_id] = post
-        hidden = post.extra.get("federated_timeline_removal", False)
-        if post.is_public and not hidden:
-            self.timelines.add_remote(post.post_id)
+        post_id = post.post_id
+        self.remote_posts[post_id] = post
+        if post.visibility is Visibility.PUBLIC and not post.extra.get(
+            "federated_timeline_removal", False
+        ):
+            self.timelines.whole_known_network.add(post_id)
 
     def delete_post(self, post_id: str) -> None:
         """Delete a local or remote post and drop it from timelines."""

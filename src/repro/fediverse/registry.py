@@ -93,6 +93,23 @@ class FediverseRegistry:
         inst_a.add_peer(inst_b.domain)
         inst_b.add_peer(inst_a.domain)
 
+    def federate_normalised(self, domain_a: str, domain_b: str) -> None:
+        """:meth:`federate` for domains known to be normalised already.
+
+        The delivery engine's batch path calls this once per (origin,
+        target) pair with domains that came out of instance records, so the
+        four re-normalisations of the generic path are skipped.
+        """
+        instances = self._instances
+        try:
+            inst_a = instances[domain_a]
+            inst_b = instances[domain_b]
+        except KeyError as exc:
+            raise UnknownInstanceError(str(exc.args[0])) from None
+        if domain_a != domain_b:
+            inst_a.peers.add(domain_b)
+            inst_b.peers.add(domain_a)
+
     def follow(self, follower_handle: str, followee_handle: str) -> None:
         """Create a follow relationship between two users (possibly remote).
 

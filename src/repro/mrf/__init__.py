@@ -20,6 +20,7 @@ from repro.mrf.base import (
     MRFDecision,
     MRFPolicy,
     ModerationEvent,
+    PolicyPrecheck,
     PolicyStats,
     Verdict,
 )
@@ -40,7 +41,7 @@ from repro.mrf.keywords import (
 from repro.mrf.media import HashtagPolicy, MediaProxyWarmingPolicy, StealEmojiPolicy
 from repro.mrf.noop import DropPolicy, NoOpPolicy
 from repro.mrf.object_age import ObjectAgePolicy
-from repro.mrf.pipeline import MRFPipeline
+from repro.mrf.pipeline import CompiledPipeline, MRFPipeline
 from repro.mrf.proposed import (
     PROPOSED_POLICY_NAMES,
     AutoTagPolicy,
@@ -74,6 +75,8 @@ __all__ = [
     "PolicyStats",
     "Verdict",
     "MRFPipeline",
+    "CompiledPipeline",
+    "PolicyPrecheck",
     # Registry helpers
     "BUILTIN_POLICY_DESCRIPTIONS",
     "DEFAULT_POLICY_NAMES",

@@ -7,7 +7,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
-from repro.activitypub.activities import Activity
+from repro.activitypub.activities import Activity, ActivityType
+from repro.fediverse.post import Post
 
 #: Action name used when a policy lets an activity through untouched.
 PASS_ACTION = "pass"
@@ -29,7 +30,7 @@ class MRFContext:
     local_instance: Any = None
 
 
-@dataclass
+@dataclass(slots=True)
 class MRFDecision:
     """The outcome of filtering one activity through one policy (or pipeline)."""
 
@@ -49,6 +50,66 @@ class MRFDecision:
     def rejected(self) -> bool:
         """Return ``True`` when the activity must be dropped."""
         return self.verdict is Verdict.REJECT
+
+
+@dataclass(frozen=True)
+class PolicyPrecheck:
+    """A conservative, cheap description of when a policy *could* act.
+
+    The pipeline merges these into a fast-path table (see
+    :meth:`repro.mrf.pipeline.MRFPipeline.filter`): an activity that no
+    enabled policy could possibly touch skips the policy loop entirely, and
+    a policy whose precheck rules an activity out is skipped within the
+    loop.  Skipping is only sound when it is a strict no-op, so prechecks
+    must be *conservative*: they may claim a policy could act when it would
+    not, never the reverse, and a policy whose pass-through branch has side
+    effects (counters, caches, logging) must not expose a precheck at all.
+
+    Semantics of :meth:`may_touch`: the gate fields (``activity_types``,
+    ``local_origin_only``) are ANDed first; the trigger fields (``domains``,
+    ``suffixes``, ``handles``, ``max_post_age``, ``match_all``) are then
+    ORed.  An all-default precheck means the policy never acts.
+    """
+
+    #: Exact (already normalised) origin domains the policy might act on.
+    domains: frozenset[str] = frozenset()
+    #: Wildcard suffixes (a ``*.example`` pattern is stored as ``example``).
+    suffixes: tuple[str, ...] = ()
+    #: Lower-cased actor handles the policy might act on.
+    handles: frozenset[str] = frozenset()
+    #: Activity types the policy can act on (``None`` = any type).
+    activity_types: frozenset[ActivityType] | None = None
+    #: The policy acts only on activities carrying a post older than this.
+    max_post_age: float | None = None
+    #: The policy acts only on activities originating locally.
+    local_origin_only: bool = False
+    #: The policy might act on anything that passes the gates above.
+    match_all: bool = False
+
+    def may_touch(self, activity: Activity, now: float, local_domain: str) -> bool:
+        """Return ``True`` when the policy could act on ``activity``."""
+        if self.local_origin_only and activity.origin_domain != local_domain:
+            return False
+        if (
+            self.activity_types is not None
+            and activity.activity_type not in self.activity_types
+        ):
+            return False
+        if self.match_all:
+            return True
+        origin = activity.origin_domain
+        if origin in self.domains:
+            return True
+        for suffix in self.suffixes:
+            if origin == suffix or origin.endswith("." + suffix):
+                return True
+        if self.handles and activity.actor.handle.lower() in self.handles:
+            return True
+        if self.max_post_age is not None:
+            obj = activity.obj
+            if obj.__class__ is Post and now - obj.created_at > self.max_post_age:
+                return True
+        return False
 
 
 @dataclass(frozen=True)
@@ -75,9 +136,28 @@ class MRFPolicy(ABC):
 
     name: str = "MRFPolicy"
 
+    #: Bumped by mutating configuration methods so pipelines know when to
+    #: recompile their fast-path tables (see :meth:`precheck`).
+    config_version: int = 0
+
     @abstractmethod
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Filter one activity, returning an :class:`MRFDecision`."""
+
+    def precheck(self) -> PolicyPrecheck | None:
+        """Return a conservative precheck, or ``None`` when the policy is opaque.
+
+        ``None`` (the default) means the pipeline must always run the
+        policy.  Subclasses whose pass-through branch is a strict no-op may
+        return a :class:`PolicyPrecheck` snapshot of their configuration;
+        they must bump :attr:`config_version` whenever that configuration
+        mutates, so compiled pipelines invalidate.
+        """
+        return None
+
+    def _bump_config_version(self) -> None:
+        """Invalidate compiled prechecks after a configuration change."""
+        self.config_version = self.config_version + 1
 
     # ------------------------------------------------------------------ #
     # Helpers for subclasses

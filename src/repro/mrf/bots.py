@@ -14,9 +14,9 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.activitypub.activities import Activity
+from repro.activitypub.activities import Activity, ActivityType
 from repro.fediverse.post import Visibility
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy
+from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy, PolicyPrecheck
 
 #: Substrings in a username/display name that identify a follow bot.
 _FOLLOWBOT_MARKERS = ("followbot", "follow_bot", "follow-bot")
@@ -43,6 +43,12 @@ class AntiFollowbotPolicy(MRFPolicy):
     """Stop the automatic following of newly discovered users."""
 
     name = "AntiFollowbotPolicy"
+
+    def precheck(self) -> PolicyPrecheck:
+        """The policy only ever acts on Follow requests."""
+        return PolicyPrecheck(
+            activity_types=frozenset({ActivityType.FOLLOW}), match_all=True
+        )
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Reject follow requests from accounts that look like follow bots."""

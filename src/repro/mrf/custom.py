@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.activitypub.activities import Activity
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy
+from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy, PolicyPrecheck
 
 #: Names of admin-created policies observed in the wild (Figure 7 of the
 #: paper).  The crawler sees only these names; their code never leaves the
@@ -60,12 +60,30 @@ class CustomPolicy(MRFPolicy):
         if not name:
             raise ValueError("custom policies need a name")
         self.name = name
-        self.behaviour = behaviour
+        self._behaviour = behaviour
         self.description = description
+
+    @property
+    def behaviour(self) -> CustomBehaviour | None:
+        """Return the custom behaviour callable (``None`` = pass-through)."""
+        return self._behaviour
+
+    @behaviour.setter
+    def behaviour(self, value: CustomBehaviour | None) -> None:
+        # Assigning a behaviour invalidates the never-acts precheck that
+        # compiled pipelines may have baked in for the pass-through case.
+        self._behaviour = value
+        self._bump_config_version()
 
     def config(self) -> dict[str, Any]:
         """Return whatever is externally observable about the policy."""
         return {"description": self.description, "custom": True}
+
+    def precheck(self) -> PolicyPrecheck | None:
+        """Behaviour-less placeholders never act; real behaviours are opaque."""
+        if self.behaviour is None:
+            return PolicyPrecheck()
+        return None
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Run the supplied behaviour, defaulting to pass-through."""

@@ -9,7 +9,7 @@ the paper observes it enabled on exactly one instance.
 from __future__ import annotations
 
 from repro.activitypub.activities import Activity
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy
+from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy, PolicyPrecheck
 
 
 class NoOpPolicy(MRFPolicy):
@@ -20,6 +20,10 @@ class NoOpPolicy(MRFPolicy):
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Accept the activity untouched."""
         return self.accept(activity)
+
+    def precheck(self) -> PolicyPrecheck:
+        """A no-op never acts: the pipeline may always skip it."""
+        return PolicyPrecheck()
 
 
 class DropPolicy(MRFPolicy):

@@ -2,17 +2,134 @@
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterable, Sequence
 
 from repro.activitypub.activities import Activity
+from repro.fediverse.post import Post
 from repro.mrf.base import (
     PASS_ACTION,
     MRFContext,
     MRFDecision,
     MRFPolicy,
     ModerationEvent,
+    PolicyPrecheck,
     Verdict,
 )
+
+
+class CompiledPipeline:
+    """The precompiled fast-path table of one pipeline configuration.
+
+    Per-policy prechecks (see :class:`~repro.mrf.base.PolicyPrecheck`) are
+    merged into a single table: the exact-domain sets, wildcard suffixes and
+    post-age cutoffs of all *plain* prechecks collapse into one membership
+    test, while gated prechecks (type- or origin-restricted) are kept as a
+    short list evaluated individually.  When every enabled policy exposes a
+    precheck and none fires, the activity provably passes untouched and the
+    policy loop (and its context construction) is skipped entirely.
+    """
+
+    __slots__ = (
+        "entries",
+        "versions",
+        "fully_prechecked",
+        "never_acts",
+        "domains",
+        "suffixes",
+        "handles",
+        "match_all",
+        "min_post_age",
+        "special",
+    )
+
+    def __init__(self, policies: Sequence[MRFPolicy]) -> None:
+        entries: list[tuple[MRFPolicy, PolicyPrecheck | None]] = []
+        domains: set[str] = set()
+        suffixes: set[str] = set()
+        handles: set[str] = set()
+        special: list[PolicyPrecheck] = []
+        match_all = False
+        min_post_age: float | None = None
+        fully_prechecked = True
+        for policy in policies:
+            pre = policy.precheck()
+            if pre is None:
+                entries.append((policy, pre))
+                fully_prechecked = False
+                continue
+            if (
+                not pre.match_all
+                and not pre.domains
+                and not pre.suffixes
+                and not pre.handles
+                and pre.max_post_age is None
+            ):
+                # The policy provably never acts (NoOpPolicy, an empty
+                # TagPolicy, a behaviour-less CustomPolicy): drop it from the
+                # walk entirely instead of re-skipping it per activity.
+                continue
+            entries.append((policy, pre))
+            if pre.activity_types is not None or pre.local_origin_only:
+                special.append(pre)
+                continue
+            if pre.match_all:
+                match_all = True
+            domains.update(pre.domains)
+            suffixes.update(pre.suffixes)
+            handles.update(pre.handles)
+            if pre.max_post_age is not None:
+                if min_post_age is None or pre.max_post_age < min_post_age:
+                    min_post_age = pre.max_post_age
+        self.entries = tuple(entries)
+        self.versions = tuple(policy.config_version for policy in policies)
+        self.fully_prechecked = fully_prechecked
+        self.domains = frozenset(domains)
+        self.suffixes = tuple(suffixes)
+        self.handles = frozenset(handles)
+        self.match_all = match_all
+        self.min_post_age = min_post_age
+        self.special = tuple(special)
+        # With every (non-trivial) entry gone, no enabled policy can ever
+        # act: the whole pipeline is a provable no-op and batches skip even
+        # the per-activity membership checks.
+        self.never_acts = fully_prechecked and not self.entries
+
+    def origin_may_trigger(self, origin: str) -> bool:
+        """The origin-dependent half of :meth:`may_any_touch`.
+
+        Batches share their origin, so callers evaluate this once per batch
+        and only run the per-activity residual (handles/post-age/gated
+        prechecks) in the loop.
+        """
+        if self.match_all:
+            return True
+        if origin in self.domains:
+            return True
+        for suffix in self.suffixes:
+            if origin == suffix or origin.endswith("." + suffix):
+                return True
+        return False
+
+    def residual_may_touch(
+        self, activity: Activity, now: float, local_domain: str
+    ) -> bool:
+        """The per-activity half of :meth:`may_any_touch`."""
+        if self.handles and activity.actor.handle.lower() in self.handles:
+            return True
+        if self.min_post_age is not None:
+            obj = activity.obj
+            if obj.__class__ is Post and now - obj.created_at > self.min_post_age:
+                return True
+        for pre in self.special:
+            if pre.may_touch(activity, now, local_domain):
+                return True
+        return False
+
+    def may_any_touch(self, activity: Activity, now: float, local_domain: str) -> bool:
+        """Return ``True`` when any enabled policy could act on ``activity``."""
+        return self.origin_may_trigger(
+            activity.origin_domain
+        ) or self.residual_may_touch(activity, now, local_domain)
 
 
 class MRFPipeline:
@@ -22,6 +139,12 @@ class MRFPipeline:
     each policy receives the activity as (possibly) rewritten by the policies
     before it.  Every reject or rewrite is logged as a
     :class:`~repro.mrf.base.ModerationEvent`.
+
+    Filtering runs through a precompiled fast path: per-policy prechecks are
+    merged into a :class:`CompiledPipeline` so activities no policy can touch
+    skip the Python loop entirely, and policies that provably cannot act on
+    an activity are skipped inside the loop.  The uncompiled walk is kept as
+    :meth:`filter_uncompiled`, the equivalence baseline.
     """
 
     def __init__(self, local_domain: str, local_instance: Any = None) -> None:
@@ -29,6 +152,7 @@ class MRFPipeline:
         self.local_instance = local_instance
         self._policies: list[MRFPolicy] = []
         self._by_name: dict[str, MRFPolicy] = {}
+        self._compiled: CompiledPipeline | None = None
         self.events: list[ModerationEvent] = []
 
     # ------------------------------------------------------------------ #
@@ -50,6 +174,7 @@ class MRFPipeline:
             raise ValueError(f"policy already enabled: {policy.name}")
         self._policies.append(policy)
         self._by_name[policy.name] = policy
+        self._compiled = None
 
     def remove_policy(self, name: str) -> bool:
         """Disable the policy called ``name``; return ``True`` if it existed."""
@@ -57,6 +182,7 @@ class MRFPipeline:
         if policy is None:
             return False
         self._policies.remove(policy)
+        self._compiled = None
         return True
 
     def has_policy(self, name: str) -> bool:
@@ -68,10 +194,208 @@ class MRFPipeline:
         return self._by_name.get(name)
 
     # ------------------------------------------------------------------ #
+    # Precompilation
+    # ------------------------------------------------------------------ #
+    def compiled(self) -> CompiledPipeline:
+        """Return the compiled fast-path table, rebuilding it when stale."""
+        compiled = self._compiled
+        if compiled is not None:
+            for policy, version in zip(self._policies, compiled.versions):
+                if policy.config_version != version:
+                    compiled = None
+                    break
+        if compiled is None:
+            compiled = CompiledPipeline(self._policies)
+            self._compiled = compiled
+        return compiled
+
+    def invalidate_compiled(self) -> None:
+        """Force a recompile (needed after mutating a policy in place
+        without going through a version-bumping configuration method)."""
+        self._compiled = None
+
+    # ------------------------------------------------------------------ #
     # Filtering
     # ------------------------------------------------------------------ #
     def filter(self, activity: Activity, now: float) -> MRFDecision:
         """Run ``activity`` through the pipeline and return the final decision."""
+        compiled = self.compiled()
+        if compiled.fully_prechecked and not compiled.may_any_touch(
+            activity, now, self.local_domain
+        ):
+            return MRFDecision(verdict=Verdict.ACCEPT, activity=activity)
+        ctx = MRFContext(
+            local_domain=self.local_domain,
+            now=now,
+            local_instance=self.local_instance,
+        )
+        decision = self._run(activity, ctx, compiled)
+        if decision is None:
+            return MRFDecision(verdict=Verdict.ACCEPT, activity=activity)
+        return decision
+
+    def filter_batch(
+        self, activities: Iterable[Activity], now: float
+    ) -> list[MRFDecision]:
+        """Filter several activities, reusing one context and one compile.
+
+        Equivalent to calling :meth:`filter` per activity (the clock does
+        not advance within a batch), but the compiled table is validated
+        once and the :class:`~repro.mrf.base.MRFContext` is built at most
+        once per batch instead of once per activity.
+        """
+        activities = list(activities)
+        return [
+            decision
+            if decision is not None
+            else MRFDecision(verdict=Verdict.ACCEPT, activity=activity)
+            for activity, decision in zip(activities, self.filter_batch_lazy(activities, now))
+        ]
+
+    def filter_batch_lazy(
+        self, activities: Iterable[Activity], now: float
+    ) -> list[MRFDecision | None]:
+        """Like :meth:`filter_batch`, but untouched activities yield ``None``.
+
+        ``None`` stands for the trivial accept decision — the caller can
+        treat the activity itself as the filtered result without paying for
+        a decision object.  This is the engine's hot path: at scale, most
+        activities are untouched.
+        """
+        compiled = self.compiled()
+        local_domain = self.local_domain
+        if not isinstance(activities, (list, tuple)):
+            activities = list(activities)
+        if compiled.never_acts:
+            return [None] * len(activities)
+        fast = compiled.fully_prechecked
+        # A fully-prechecked single-entry pipeline needs no policy walk: the
+        # merged table firing already identifies the one policy to run.
+        single = fast and len(compiled.entries) == 1
+        single_policy = compiled.entries[0][0] if single else None
+        # The origin-dependent half of the merged table is evaluated once per
+        # distinct origin in the batch (usually exactly one); the residual
+        # per-activity triggers are inlined with hoisted locals.
+        origin_triggers: dict[str, bool] = {}
+        origin_may_trigger = compiled.origin_may_trigger
+        handles = compiled.handles
+        min_post_age = compiled.min_post_age
+        special = compiled.special
+        residual = compiled.residual_may_touch
+        plain_residual = not handles and not special
+        ctx: MRFContext | None = None
+        decisions: list[MRFDecision | None] = []
+        append = decisions.append
+        for activity in activities:
+            if fast:
+                origin = activity.origin_domain
+                triggered = origin_triggers.get(origin)
+                if triggered is None:
+                    triggered = origin_may_trigger(origin)
+                    origin_triggers[origin] = triggered
+                if not triggered:
+                    if plain_residual:
+                        if min_post_age is None:
+                            append(None)
+                            continue
+                        obj = activity.obj
+                        if not (
+                            obj.__class__ is Post
+                            and now - obj.created_at > min_post_age
+                        ):
+                            append(None)
+                            continue
+                    elif not residual(activity, now, local_domain):
+                        append(None)
+                        continue
+            if ctx is None:
+                ctx = MRFContext(
+                    local_domain=local_domain,
+                    now=now,
+                    local_instance=self.local_instance,
+                )
+            if single:
+                append(self._run_single(activity, ctx, single_policy))
+            else:
+                append(self._run(activity, ctx, compiled))
+        return decisions
+
+    def _run(
+        self, activity: Activity, ctx: MRFContext, compiled: CompiledPipeline
+    ) -> MRFDecision | None:
+        """The policy walk, skipping policies that provably cannot act.
+
+        Returns ``None`` when no policy touched the activity (the trivial
+        accept) so hot callers can skip the decision object entirely.
+        """
+        current = activity
+        acting: MRFDecision | None = None
+        now = ctx.now
+        local_domain = ctx.local_domain
+
+        for policy, pre in compiled.entries:
+            if pre is not None and not pre.may_touch(current, now, local_domain):
+                continue
+            decision = policy.filter(current, ctx)
+            if decision.rejected:
+                self._log(decision, ctx, activity)
+                return decision
+            if decision.action != PASS_ACTION or decision.modified:
+                acting = decision
+                self._log(decision, ctx, activity)
+            current = decision.activity
+
+        if acting is None:
+            return None if current is activity else MRFDecision(
+                verdict=Verdict.ACCEPT, activity=current
+            )
+        # The final decision aggregates the last acting policy's fields with
+        # modified=True; when that policy's own decision already carries them
+        # (the overwhelmingly common single-rewriter case), reuse it.
+        if acting.modified and acting.activity is current:
+            return acting
+        return MRFDecision(
+            verdict=Verdict.ACCEPT,
+            activity=current,
+            policy=acting.policy,
+            action=acting.action,
+            reason=acting.reason,
+            modified=True,
+        )
+
+    def _run_single(
+        self, activity: Activity, ctx: MRFContext, policy: MRFPolicy
+    ) -> MRFDecision | None:
+        """:meth:`_run` specialised for a one-entry compiled pipeline whose
+        merged precheck already fired — the policy runs unconditionally."""
+        decision = policy.filter(activity, ctx)
+        if decision.rejected:
+            self._log(decision, ctx, activity)
+            return decision
+        if decision.action != PASS_ACTION or decision.modified:
+            self._log(decision, ctx, activity)
+            if decision.modified:
+                return decision
+            return MRFDecision(
+                verdict=Verdict.ACCEPT,
+                activity=decision.activity,
+                policy=decision.policy,
+                action=decision.action,
+                reason=decision.reason,
+                modified=True,
+            )
+        current = decision.activity
+        if current is activity:
+            return None
+        return MRFDecision(verdict=Verdict.ACCEPT, activity=current)
+
+    def filter_uncompiled(self, activity: Activity, now: float) -> MRFDecision:
+        """The seed's uncompiled policy walk, kept as the equivalence baseline.
+
+        Behaviourally identical to :meth:`filter`; every policy runs
+        unconditionally.  Equivalence tests and the perf harness compare the
+        two paths.
+        """
         ctx = MRFContext(
             local_domain=self.local_domain,
             now=now,
@@ -106,19 +430,22 @@ class MRFPipeline:
         )
 
     def _log(self, decision: MRFDecision, ctx: MRFContext, original: Activity) -> None:
-        self.events.append(
-            ModerationEvent(
-                timestamp=ctx.now,
-                moderating_domain=self.local_domain,
-                origin_domain=original.origin_domain,
-                policy=decision.policy,
-                action=decision.action,
-                activity_type=original.activity_type.value,
-                activity_id=original.activity_id,
-                accepted=decision.accepted,
-                reason=decision.reason,
-            )
+        # Hot path: built via __new__/__dict__ to skip the frozen-dataclass
+        # per-field object.__setattr__ walk; the event is identical to one
+        # built through the constructor (and still immutable to callers).
+        event = object.__new__(ModerationEvent)
+        event.__dict__.update(
+            timestamp=ctx.now,
+            moderating_domain=self.local_domain,
+            origin_domain=original.origin_domain,
+            policy=decision.policy,
+            action=decision.action,
+            activity_type=original.activity_type.value,
+            activity_id=original.activity_id,
+            accepted=decision.accepted,
+            reason=decision.reason,
         )
+        self.events.append(event)
 
     # ------------------------------------------------------------------ #
     # Configuration exposure (as used by the Pleroma instance API)

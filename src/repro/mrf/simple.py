@@ -16,7 +16,7 @@ from typing import Any, Iterable
 
 from repro.activitypub.activities import Activity, ActivityType
 from repro.fediverse.identifiers import domain_matches, normalise_domain
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy
+from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy, PolicyPrecheck
 
 
 class SimplePolicyAction(str, Enum):
@@ -98,6 +98,10 @@ class SimplePolicy(MRFPolicy):
         self._targets: dict[SimplePolicyAction, set[str]] = {
             action: set() for action in SimplePolicyAction
         }
+        self.config_version = 0
+        #: Per-action (exact-domain frozenset, wildcard-suffix tuple) tables,
+        #: rebuilt lazily whenever the target lists change.
+        self._matchers: dict[SimplePolicyAction, tuple[frozenset[str], tuple[str, ...]]] | None = None
         initial = {
             SimplePolicyAction.REJECT: reject,
             SimplePolicyAction.FEDERATED_TIMELINE_REMOVAL: federated_timeline_removal,
@@ -125,6 +129,8 @@ class SimplePolicy(MRFPolicy):
         if not pattern.startswith("*."):
             pattern = normalise_domain(pattern)
         self._targets[action].add(pattern)
+        self._matchers = None
+        self._bump_config_version()
 
     def remove_target(self, action: SimplePolicyAction | str, domain: str) -> bool:
         """Remove a domain pattern from an action; return ``True`` if present."""
@@ -133,6 +139,8 @@ class SimplePolicy(MRFPolicy):
         pattern = domain.strip().lower()
         if pattern in self._targets[action]:
             self._targets[action].discard(pattern)
+            self._matchers = None
+            self._bump_config_version()
             return True
         return False
 
@@ -160,12 +168,39 @@ class SimplePolicy(MRFPolicy):
     # ------------------------------------------------------------------ #
     # Matching helpers
     # ------------------------------------------------------------------ #
+    def _compiled_matchers(
+        self,
+    ) -> dict[SimplePolicyAction, tuple[frozenset[str], tuple[str, ...]]]:
+        """Return per-action (exact set, wildcard suffixes) match tables.
+
+        Exact patterns are stored normalised by :meth:`add_target`, so
+        matching is one set lookup instead of a ``domain_matches`` walk that
+        re-normalises the domain once per pattern.
+        """
+        matchers = self._matchers
+        if matchers is None:
+            matchers = {}
+            for action, patterns in self._targets.items():
+                exact = frozenset(p for p in patterns if not p.startswith("*."))
+                suffixes = tuple(p[2:] for p in patterns if p.startswith("*."))
+                matchers[action] = (exact, suffixes)
+            self._matchers = matchers
+        return matchers
+
     def matches(self, action: SimplePolicyAction | str, domain: str) -> bool:
         """Return ``True`` when ``domain`` is targeted by ``action``."""
         if isinstance(action, str):
             action = SimplePolicyAction.from_string(action)
+        exact, suffixes = self._compiled_matchers()[action]
+        if domain in exact:  # hot path: callers pass already-normalised domains
+            return True
+        if not exact and not suffixes:
+            return False
+        domain = normalise_domain(domain)
+        if domain in exact:
+            return True
         return any(
-            domain_matches(domain, pattern) for pattern in self._targets[action]
+            domain == suffix or domain.endswith("." + suffix) for suffix in suffixes
         )
 
     def matching_actions(self, domain: str) -> list[SimplePolicyAction]:
@@ -179,73 +214,95 @@ class SimplePolicy(MRFPolicy):
     # ------------------------------------------------------------------ #
     # Filtering
     # ------------------------------------------------------------------ #
+    def _matches_normalised(self, action: SimplePolicyAction, domain: str) -> bool:
+        """Compiled matcher for callers passing already-normalised domains."""
+        exact, suffixes = self._compiled_matchers()[action]
+        if domain in exact:
+            return True
+        if not suffixes:
+            return False
+        return any(
+            domain == suffix or domain.endswith("." + suffix) for suffix in suffixes
+        )
+
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Apply every matching action to ``activity``."""
+        # Activity origins are normalised on construction, so the compiled
+        # matcher can skip re-normalisation.
+        return self._filter_with(activity, ctx, self._matches_normalised)
+
+    def _filter_with(self, activity: Activity, ctx: MRFContext, matches) -> MRFDecision:
+        """The filter body, parameterised on the matcher.
+
+        ``matches(action, domain) -> bool`` defaults to the compiled tables;
+        the perf harness injects the seed's per-pattern ``domain_matches``
+        walk here to time the optimised path against a faithful baseline.
+        """
         origin = activity.origin_domain
 
         # The accept list acts as an allow-list: when non-empty, anything not
         # on it (and not local) is rejected outright.
         accept_list = self._targets[SimplePolicyAction.ACCEPT]
         if accept_list and origin != ctx.local_domain:
-            if not self.matches(SimplePolicyAction.ACCEPT, origin):
+            if not matches(SimplePolicyAction.ACCEPT, origin):
                 return self.reject(
                     activity,
                     action=SimplePolicyAction.ACCEPT.value,
                     reason=f"{origin} is not on the accept list",
                 )
 
-        if self.matches(SimplePolicyAction.REJECT, origin):
+        if matches(SimplePolicyAction.REJECT, origin):
             return self.reject(
                 activity,
                 action=SimplePolicyAction.REJECT.value,
                 reason=f"all activities from {origin} are rejected",
             )
 
-        if activity.is_delete and self.matches(SimplePolicyAction.REJECT_DELETES, origin):
+        if activity.is_delete and matches(SimplePolicyAction.REJECT_DELETES, origin):
             return self.reject(
                 activity,
                 action=SimplePolicyAction.REJECT_DELETES.value,
                 reason=f"deletes from {origin} are rejected",
             )
 
-        if activity.is_flag and self.matches(SimplePolicyAction.REPORT_REMOVAL, origin):
+        if activity.is_flag and matches(SimplePolicyAction.REPORT_REMOVAL, origin):
             return self.reject(
                 activity,
                 action=SimplePolicyAction.REPORT_REMOVAL.value,
                 reason=f"reports from {origin} are dropped",
             )
 
-        return self._apply_rewrites(activity, origin)
+        return self._apply_rewrites(activity, origin, matches)
 
-    def _apply_rewrites(self, activity: Activity, origin: str) -> MRFDecision:
+    def _apply_rewrites(self, activity: Activity, origin: str, matches) -> MRFDecision:
         """Apply the non-rejecting actions that match ``origin``."""
         applied: list[SimplePolicyAction] = []
         current = activity
 
-        if self.matches(SimplePolicyAction.AVATAR_REMOVAL, origin):
+        if matches(SimplePolicyAction.AVATAR_REMOVAL, origin):
             current = self._strip_actor_field(current, "avatar_url")
             applied.append(SimplePolicyAction.AVATAR_REMOVAL)
-        if self.matches(SimplePolicyAction.BANNER_REMOVAL, origin):
+        if matches(SimplePolicyAction.BANNER_REMOVAL, origin):
             current = self._strip_actor_field(current, "banner_url")
             applied.append(SimplePolicyAction.BANNER_REMOVAL)
 
         post = current.post
         if post is not None:
-            if self.matches(SimplePolicyAction.MEDIA_REMOVAL, origin) and post.has_media:
+            if matches(SimplePolicyAction.MEDIA_REMOVAL, origin) and post.has_media:
                 post = post.with_changes(attachments=())
                 current = current.with_post(post)
                 applied.append(SimplePolicyAction.MEDIA_REMOVAL)
-            if self.matches(SimplePolicyAction.MEDIA_NSFW, origin) and not post.sensitive:
+            if matches(SimplePolicyAction.MEDIA_NSFW, origin) and not post.sensitive:
                 post = post.with_changes(sensitive=True)
                 current = current.with_post(post)
                 applied.append(SimplePolicyAction.MEDIA_NSFW)
-            if self.matches(SimplePolicyAction.FOLLOWERS_ONLY, origin) and post.is_public:
+            if matches(SimplePolicyAction.FOLLOWERS_ONLY, origin) and post.is_public:
                 from repro.fediverse.post import Visibility
 
                 post = post.with_changes(visibility=Visibility.FOLLOWERS_ONLY)
                 current = current.with_post(post)
                 applied.append(SimplePolicyAction.FOLLOWERS_ONLY)
-            if self.matches(SimplePolicyAction.FEDERATED_TIMELINE_REMOVAL, origin):
+            if matches(SimplePolicyAction.FEDERATED_TIMELINE_REMOVAL, origin):
                 current = current.with_flag("federated_timeline_removal", True)
                 applied.append(SimplePolicyAction.FEDERATED_TIMELINE_REMOVAL)
 
@@ -257,6 +314,25 @@ class SimplePolicy(MRFPolicy):
             reason="+".join(action.value for action in applied),
             modified=True,
         )
+
+    def precheck(self) -> PolicyPrecheck:
+        """Expose the target-domain sets as a cheap pre-check.
+
+        With a non-empty accept list the policy may reject *any* non-listed
+        origin, so it must always run; otherwise it can only act on origins
+        matching one of its patterns.
+        """
+        if self._targets[SimplePolicyAction.ACCEPT]:
+            return PolicyPrecheck(match_all=True)
+        exact: set[str] = set()
+        suffixes: set[str] = set()
+        for patterns in self._targets.values():
+            for pattern in patterns:
+                if pattern.startswith("*."):
+                    suffixes.add(pattern[2:])
+                else:
+                    exact.add(pattern)
+        return PolicyPrecheck(domains=frozenset(exact), suffixes=tuple(suffixes))
 
     @staticmethod
     def _strip_actor_field(activity: Activity, field_name: str) -> Activity:

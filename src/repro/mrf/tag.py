@@ -14,7 +14,7 @@ from typing import Any, Iterable
 
 from repro.activitypub.activities import Activity
 from repro.fediverse.post import Visibility
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy
+from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy, PolicyPrecheck
 
 
 class TagAction:
@@ -57,6 +57,7 @@ class TagPolicy(MRFPolicy):
         if tag not in TagAction.ALL:
             raise ValueError(f"unknown tag: {tag}")
         self._tags.setdefault(handle.lower().lstrip("@"), set()).add(tag)
+        self._bump_config_version()
 
     def untag_user(self, handle: str, tag: str) -> bool:
         """Remove ``tag`` from ``handle``; return ``True`` when it was set."""
@@ -65,6 +66,7 @@ class TagPolicy(MRFPolicy):
             self._tags[handle].discard(tag)
             if not self._tags[handle]:
                 del self._tags[handle]
+            self._bump_config_version()
             return True
         return False
 
@@ -79,6 +81,10 @@ class TagPolicy(MRFPolicy):
     def config(self) -> dict[str, Any]:
         """Return the policy configuration."""
         return {handle: sorted(tags) for handle, tags in sorted(self._tags.items())}
+
+    def precheck(self) -> PolicyPrecheck:
+        """The policy can only act on activities from tagged accounts."""
+        return PolicyPrecheck(handles=frozenset(self._tags))
 
     # ------------------------------------------------------------------ #
     # Filtering

@@ -14,7 +14,7 @@ from typing import Any, Iterable
 from repro.activitypub.activities import Activity
 from repro.fediverse.clock import SECONDS_PER_DAY
 from repro.fediverse.post import Visibility
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy
+from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy, PolicyPrecheck
 
 #: Default expiration applied by ActivityExpirationPolicy (days), as in Pleroma.
 DEFAULT_EXPIRATION_DAYS = 365
@@ -68,6 +68,16 @@ class MentionPolicy(MRFPolicy):
         """Return the handles whose mention causes a drop."""
         return {"actors": sorted(self.blocked_mentions)}
 
+    def precheck(self) -> PolicyPrecheck | None:
+        """Opaque: ``blocked_mentions`` is a public mutable set.
+
+        A never-acts precheck for the empty case would be permanently baked
+        into compiled pipelines — there is no version-bumping mutator, so a
+        later ``policy.blocked_mentions.add(...)`` would be silently
+        ignored.  The policy therefore always runs.
+        """
+        return None
+
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Reject posts that mention any blocked handle."""
         post = activity.post
@@ -97,6 +107,10 @@ class ActivityExpirationPolicy(MRFPolicy):
     def config(self) -> dict[str, Any]:
         """Return the configured expiration in days."""
         return {"days": self.days}
+
+    def precheck(self) -> PolicyPrecheck:
+        """The policy only stamps locally-originated posts."""
+        return PolicyPrecheck(local_origin_only=True, match_all=True)
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Stamp local posts with an expiration timestamp."""

@@ -11,10 +11,20 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from repro.activitypub.activities import Activity
+from repro.activitypub.delivery import FederationStats, apply_accepted
 from repro.core.collateral import InstanceCollateral
 from repro.core.harmfulness import UserLabel
 from repro.datasets.schema import RejectEdge
 from repro.datasets.store import Dataset
+from repro.fediverse.errors import FederationError
+from repro.fediverse.identifiers import normalise_domain
+from repro.fediverse.post import Visibility
+from repro.fediverse.registry import FediverseRegistry
+from repro.mrf.base import PASS_ACTION, MRFContext, MRFDecision, Verdict
+from repro.mrf.object_age import ObjectAgePolicy
+from repro.mrf.pipeline import MRFPipeline
+from repro.mrf.simple import SimplePolicy
 from repro.perspective.attributes import ATTRIBUTES, Attribute, AttributeScores
 from repro.perspective.scorer import LexiconScorer, score_for_density
 from repro.perspective.lexicon import tokenize
@@ -50,6 +60,202 @@ def naive_score_many(scorer: LexiconScorer, texts: list[str]) -> list[AttributeS
             )
         results.append(AttributeScores(**values))
     return results
+
+
+# ---------------------------------------------------------------------- #
+# Seed-faithful federation delivery
+# ---------------------------------------------------------------------- #
+def naive_domain_matches(domain: str, pattern: str) -> bool:
+    """The seed's ``domain_matches``: re-normalises the domain per pattern."""
+    domain = normalise_domain(domain)
+    pattern = pattern.strip().lower()
+    if pattern.startswith("*."):
+        suffix = pattern[2:]
+        return domain == suffix or domain.endswith("." + suffix)
+    return domain == normalise_domain(pattern)
+
+
+def _seed_simple_matcher(policy: SimplePolicy):
+    """The seed's SimplePolicy matcher: an any()-walk over every pattern.
+
+    Each ``matches`` call re-normalises the origin once per pattern — the
+    per-delivery cost the compiled match tables eliminate.
+    """
+
+    targets = policy._targets
+
+    def matches(action, domain) -> bool:
+        return any(naive_domain_matches(domain, pattern) for pattern in targets[action])
+
+    return matches
+
+
+def naive_object_age_filter(
+    policy: ObjectAgePolicy, activity: Activity, ctx: MRFContext
+) -> MRFDecision:
+    """The seed's ``ObjectAgePolicy.filter``: chained copy-on-write rewrites.
+
+    Each applied action reconstructs the post and/or activity through
+    ``with_changes``/``with_post``/``with_flag`` — the dataclass-``replace``
+    chains the fused rewrite in the optimised policy collapses into a single
+    copy each.
+    """
+    post = activity.post
+    if post is None:
+        return policy.accept(activity)
+    if post.age(ctx.now) <= policy.threshold:
+        return policy.accept(activity)
+
+    if "reject" in policy.actions:
+        return policy.reject(
+            activity,
+            action="reject",
+            reason=f"post older than {policy.threshold:.0f}s",
+        )
+
+    current = activity
+    applied = []
+    if "delist" in policy.actions and post.is_public:
+        post = post.with_changes(visibility=Visibility.UNLISTED)
+        current = current.with_post(post)
+        applied.append("delist")
+    if "strip_followers" in policy.actions:
+        current = current.with_flag("followers_stripped", True)
+        applied.append("strip_followers")
+
+    if not applied:
+        return policy.accept(current)
+    return policy.accept(
+        current,
+        action=applied[-1],
+        reason="+".join(applied),
+        modified=True,
+    )
+
+
+def naive_policy_filter(policy, activity: Activity, ctx: MRFContext) -> MRFDecision:
+    """Filter through one policy the way the seed did.
+
+    SimplePolicy runs with the seed's per-pattern matching walk and
+    ObjectAgePolicy with the seed's chained rewrites; other policies were
+    not rewritten by the engine PR, so their ``filter`` is already
+    seed-faithful.
+    """
+    if isinstance(policy, SimplePolicy):
+        return policy._filter_with(activity, ctx, _seed_simple_matcher(policy))
+    if isinstance(policy, ObjectAgePolicy):
+        return naive_object_age_filter(policy, activity, ctx)
+    return policy.filter(activity, ctx)
+
+
+def naive_pipeline_filter(
+    pipeline: MRFPipeline, activity: Activity, now: float
+) -> MRFDecision:
+    """The seed's ``MRFPipeline.filter``: fresh context, full policy walk."""
+    ctx = MRFContext(
+        local_domain=pipeline.local_domain,
+        now=now,
+        local_instance=pipeline.local_instance,
+    )
+    current = activity
+    modified = False
+    last_policy = ""
+    last_action = PASS_ACTION
+    last_reason = ""
+
+    for policy in pipeline._policies:
+        decision = naive_policy_filter(policy, current, ctx)
+        if decision.rejected:
+            pipeline._log(decision, ctx, activity)
+            return decision
+        if decision.action != PASS_ACTION or decision.modified:
+            modified = True
+            last_policy = decision.policy
+            last_action = decision.action
+            last_reason = decision.reason
+            pipeline._log(decision, ctx, activity)
+        current = decision.activity
+
+    return MRFDecision(
+        verdict=Verdict.ACCEPT,
+        activity=current,
+        policy=last_policy,
+        action=last_action,
+        reason=last_reason,
+        modified=modified,
+    )
+
+
+from dataclasses import dataclass as _dataclass
+
+
+@_dataclass
+class SeedDeliveryReport:
+    """The seed's ``DeliveryReport``: a plain (un-slotted) dataclass."""
+
+    activity_id: str
+    origin_domain: str
+    target_domain: str
+    accepted: bool
+    policy: str = ""
+    action: str = ""
+    reason: str = ""
+    modified: bool = False
+
+    @property
+    def rejected(self) -> bool:
+        """Return ``True`` when the activity was dropped by the target."""
+        return not self.accepted
+
+
+def naive_deliver(
+    registry: FediverseRegistry,
+    activity: Activity,
+    target_domain: str,
+    stats: FederationStats,
+    reports: list,
+) -> SeedDeliveryReport:
+    """The seed's ``FederationDelivery.deliver``: one activity at a time.
+
+    Every call re-normalises the target domain, re-resolves the instance,
+    re-records the peer relation and builds a fresh MRF context.
+    """
+    target_domain = normalise_domain(target_domain)
+    if target_domain == activity.origin_domain:
+        raise FederationError("cannot deliver an activity to its origin instance")
+    target = registry.get(target_domain)
+    registry.federate(activity.origin_domain, target_domain)
+
+    decision = naive_pipeline_filter(target.mrf, activity, now=registry.clock.now())
+    report = SeedDeliveryReport(
+        activity_id=activity.activity_id,
+        origin_domain=activity.origin_domain,
+        target_domain=target_domain,
+        accepted=decision.accepted,
+        policy=decision.policy,
+        action=decision.action,
+        reason=decision.reason,
+        modified=decision.modified,
+    )
+    reports.append(report)
+    stats.record(report)
+    if decision.accepted:
+        # The seed's ``_apply`` re-resolved the target from the registry.
+        apply_accepted(registry, decision.activity, registry.get(target_domain))
+    return report
+
+
+def naive_federate(
+    registry: FediverseRegistry, batches: Iterable
+) -> tuple[FederationStats, list[SeedDeliveryReport]]:
+    """Consume a federation-batch stream the way the seed generator did:
+    one ``deliver`` call per activity, materialising every report."""
+    stats = FederationStats()
+    reports: list[SeedDeliveryReport] = []
+    for batch in batches:
+        for activity in batch.activities:
+            naive_deliver(registry, activity, batch.target_domain, stats, reports)
+    return stats, reports
 
 
 def naive_threshold_sweep(

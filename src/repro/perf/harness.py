@@ -16,11 +16,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.activitypub.delivery import FederationDelivery, FederationStats
 from repro.datasets.schema import RejectEdge
 from repro.datasets.store import Dataset
 from repro.experiments.pipeline import ReproPipeline
 from repro.perf import baselines
 from repro.perspective.scorer import LexiconScorer
+from repro.synth.generator import FediverseGenerator, PreparedFediverse
+from repro.synth.scenario import scenario_config
 
 #: Thresholds of the Table 2 sweep (kept in sync with experiments.table2).
 SWEEP_THRESHOLDS = (0.5, 0.6, 0.7, 0.8, 0.9)
@@ -45,6 +48,12 @@ class BenchReport:
             "dataset": self.dataset,
             "metrics": self.metrics,
         }
+
+
+def _require_equal(left: Any, right: Any, message: str) -> None:
+    """Equivalence gate that survives ``python -O`` (unlike ``assert``)."""
+    if left != right:
+        raise RuntimeError(f"equivalence check failed: {message}")
 
 
 def best_of(fn: Callable[[], Any], repeats: int) -> float:
@@ -75,7 +84,11 @@ def bench_ingestion(edges: list[RejectEdge], repeats: int = 3) -> dict[str, floa
         return dataset
 
     # Equivalence: the indexed path stores exactly what the seed's scan did.
-    assert indexed().reject_edges == baselines.naive_add_reject_edges(workload)
+    _require_equal(
+        indexed().reject_edges,
+        baselines.naive_add_reject_edges(workload),
+        "indexed edge ingestion diverged from the seed scan",
+    )
 
     indexed_s = best_of(indexed, repeats)
     naive_s = best_of(lambda: baselines.naive_add_reject_edges(workload), repeats)
@@ -96,7 +109,11 @@ def bench_scoring(
 
     # Equivalence: identical score bits out of both paths (summation order
     # is preserved by design — see Lexicon.weighted_hits_all).
-    assert scorer.score_many(texts) == baselines.naive_score_many(scorer, texts)
+    _require_equal(
+        scorer.score_many(texts),
+        baselines.naive_score_many(scorer, texts),
+        "single-pass scoring diverged from the per-attribute baseline",
+    )
 
     single_s = best_of(lambda: scorer.score_many(texts), repeats)
     naive_s = best_of(lambda: baselines.naive_score_many(scorer, texts), repeats)
@@ -123,7 +140,9 @@ def bench_sweep(pipeline: ReproPipeline, repeats: int = 5) -> dict[str, float]:
     naive = baselines.naive_threshold_sweep(
         pipeline.dataset, analyzer._labels_for, SWEEP_THRESHOLDS
     )
-    assert optimised == naive
+    _require_equal(
+        optimised, naive, "cached threshold sweep diverged from the seed recompute"
+    )
 
     optimised_s = best_of(lambda: analyzer.threshold_sweep(SWEEP_THRESHOLDS), repeats)
     naive_s = best_of(
@@ -138,6 +157,159 @@ def bench_sweep(pipeline: ReproPipeline, repeats: int = 5) -> dict[str, float]:
         "optimised_seconds": optimised_s,
         "naive_seconds": naive_s,
         "speedup": naive_s / optimised_s if optimised_s else float("inf"),
+    }
+
+
+def _federation_state(
+    prepared: PreparedFediverse,
+    stats: FederationStats,
+) -> dict[str, Any]:
+    """Snapshot everything federation can influence, for equivalence checks.
+
+    Activity ids are global-counter-based and differ between two runs in the
+    same process, so they are excluded; everything else (per-instance
+    moderation-event streams, full remote-post state, peer sets, ground
+    truth, generation counters and the aggregate delivery stats) must be
+    identical between the engine and the seed-faithful baseline.
+    """
+    registry = prepared.registry
+    events = {}
+    remote_posts = {}
+    peers = {}
+    for instance in registry.instances():
+        events[instance.domain] = tuple(
+            (
+                event.timestamp,
+                event.moderating_domain,
+                event.origin_domain,
+                event.policy,
+                event.action,
+                event.activity_type,
+                event.accepted,
+                event.reason,
+            )
+            for event in instance.mrf.events
+        )
+        remote_posts[instance.domain] = tuple(
+            (
+                post_id,
+                post.visibility.value,
+                post.sensitive,
+                len(post.attachments),
+                tuple(sorted(post.extra.items())),
+            )
+            for post_id, post in sorted(instance.remote_posts.items())
+        )
+        peers[instance.domain] = tuple(sorted(instance.peers))
+    generation = prepared.stats
+    return {
+        "ground_truth": prepared.ground_truth.summary(),
+        "generation_stats": (
+            generation.users,
+            generation.posts,
+            generation.federated_deliveries,
+            generation.rejected_deliveries,
+        ),
+        "delivery_stats": (
+            stats.delivered,
+            stats.accepted,
+            stats.rejected,
+            stats.modified,
+            tuple(sorted(stats.by_policy.items())),
+        ),
+        "events": events,
+        "remote_posts": remote_posts,
+        "peers": peers,
+    }
+
+
+def _level_heap() -> None:
+    """Level the playing field before a timed federation run.
+
+    The engine's shared rewrite cache keeps posts from earlier runs alive
+    and a grown heap slows whichever path happens to run later (GC scans
+    scale with live objects), so both are reset before every timed region.
+    """
+    import gc
+
+    from repro.mrf.object_age import clear_rewrite_cache
+
+    clear_rewrite_cache()
+    gc.collect()
+
+
+def bench_delivery(scenario: str, seed: int = 42, repeats: int = 2) -> dict[str, float]:
+    """Time federation generation/delivery: batched engine vs seed loop.
+
+    Both paths consume the *same* lazy federation-batch stream (identical
+    RNG draws and activity-creation order).  The engine groups work per
+    target — one domain normalisation, one instance resolution, one MRF
+    context per batch — and filters through precompiled pipelines; the
+    baseline replays the seed's one-``deliver``-per-activity loop with fresh
+    contexts and per-pattern SimplePolicy matching.  The first run of each
+    path is snapshotted and asserted identical: same report stream, same
+    per-instance moderation events, same ground truth and counters.
+    """
+    config = scenario_config(scenario, seed=seed)
+    generator = FediverseGenerator(config)
+    repeats = max(1, repeats)
+
+    engine_s = float("inf")
+    engine_state = None
+    deliveries = 0
+    batches = 0
+    for _ in range(repeats):
+        # Materialising the batch stream (RNG draws + activity creation) is
+        # shared work both paths pay identically, so it stays outside the
+        # timed region; only delivery itself is measured.
+        prepared = generator.prepare()
+        work = list(generator.federation_batches(prepared))
+        delivery = FederationDelivery(prepared.registry, sinks=[])
+        stats = prepared.stats
+        _level_heap()
+        start = time.perf_counter()
+        for batch in work:
+            delivered, rejected = delivery.deliver_batch_counted(
+                batch.activities, batch.target_domain
+            )
+            stats.federated_deliveries += delivered
+            stats.rejected_deliveries += rejected
+        engine_s = min(engine_s, time.perf_counter() - start)
+        if engine_state is None:
+            deliveries = delivery.stats.delivered
+            batches = len(work)
+            engine_state = _federation_state(prepared, delivery.stats)
+
+    naive_s = float("inf")
+    naive_state = None
+    for _ in range(repeats):
+        prepared = generator.prepare()
+        work = list(generator.federation_batches(prepared))
+        _level_heap()
+        start = time.perf_counter()
+        stats, reports = baselines.naive_federate(prepared.registry, work)
+        naive_s = min(naive_s, time.perf_counter() - start)
+        if naive_state is None:
+            # The seed updated the generation counters inside its loop.
+            prepared.stats.federated_deliveries = stats.delivered
+            prepared.stats.rejected_deliveries = stats.rejected
+            naive_state = _federation_state(prepared, stats)
+
+    # Equivalence: the batched engine and the seed loop must be
+    # indistinguishable in every observable outcome.
+    _require_equal(
+        engine_state,
+        naive_state,
+        "batched delivery engine diverged from the seed delivery loop",
+    )
+
+    return {
+        "deliveries": float(deliveries),
+        "batches": float(batches),
+        "engine_seconds": engine_s,
+        "naive_seconds": naive_s,
+        "speedup": naive_s / engine_s if engine_s else float("inf"),
+        "deliveries_per_second": deliveries / engine_s if engine_s else float("inf"),
     }
 
 
@@ -168,6 +340,11 @@ def run_scenario(
         repeats=repeats,
     )
     report.metrics["threshold_sweep"] = bench_sweep(pipeline, repeats=max(repeats, 5))
+    # Generation/delivery regenerates the fediverse per repeat; cap repeats
+    # so the harness stays tractable at the large scales.
+    report.metrics["delivery"] = bench_delivery(
+        scenario, seed=seed, repeats=min(repeats, 2)
+    )
     return report
 
 

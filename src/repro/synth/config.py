@@ -296,6 +296,23 @@ class SynthConfig:
     federation_fanout: int = 4
     #: Maximum number of recent posts an instance federates to each peer.
     federation_posts_per_peer: int = 10
+    #: Share of origin instances that are "hot" and fan out far more widely
+    #: (the ``burst`` scenario).  0 keeps the seed's uniform fan-out and
+    #: draws no extra randomness, so existing scenarios are bit-identical.
+    federation_hot_origin_share: float = 0.0
+    #: Fan-out multiplier applied to hot origin instances.
+    federation_hot_fanout_multiplier: float = 1.0
+
+    # -- churn ------------------------------------------------------------ #
+    #: Probability that a (non-elite) Pleroma instance goes down mid-campaign
+    #: (the ``churn`` scenario).  0 draws no extra randomness, keeping
+    #: existing scenarios bit-identical.
+    instance_churn_rate: float = 0.0
+    #: Window (days, starting at the campaign end — i.e. when the crawl
+    #: begins) within which churned instances go down; matches the default
+    #: crawl duration used by the pipelines, so crawls see churned instances
+    #: in early snapshot rounds and lose them later.
+    churn_window_days: float = 2.0
 
     # -- campaign --------------------------------------------------------- #
     #: Length of the simulated measurement campaign, in days.
@@ -317,6 +334,14 @@ class SynthConfig:
         total_uncrawlable = sum(self.uncrawlable_status_shares.values())
         if total_uncrawlable >= 1.0:
             raise ValueError("uncrawlable shares must sum to less than 1")
+        if not 0 <= self.federation_hot_origin_share <= 1:
+            raise ValueError("federation_hot_origin_share must be within [0, 1]")
+        if self.federation_hot_fanout_multiplier < 1.0:
+            raise ValueError("federation_hot_fanout_multiplier must be >= 1")
+        if not 0 <= self.instance_churn_rate <= 1:
+            raise ValueError("instance_churn_rate must be within [0, 1]")
+        if self.churn_window_days <= 0:
+            raise ValueError("churn_window_days must be positive")
 
     # ------------------------------------------------------------------ #
     # Derived quantities

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Iterator
 
-from repro.activitypub.activities import create_activity
+from repro.activitypub.activities import Activity, create_activity
 from repro.activitypub.actors import Actor
 from repro.activitypub.delivery import FederationDelivery
 from repro.fediverse.clock import SimulationClock
@@ -106,6 +107,41 @@ class GeneratedFediverse:
         return self.registry.clock
 
 
+@dataclass(frozen=True)
+class FederationBatch:
+    """One unit of federation work: several activities for one target.
+
+    Batches group all activities one origin sends to one receiving instance,
+    so the delivery engine can resolve the target, build the MRF context and
+    validate the compiled pipeline once per batch instead of once per
+    activity.
+    """
+
+    origin_domain: str
+    target_domain: str
+    activities: tuple[Activity, ...]
+
+
+@dataclass
+class PreparedFediverse:
+    """A fediverse built up to (but excluding) the federation phase.
+
+    :meth:`FediverseGenerator.prepare` returns one of these;
+    :meth:`FediverseGenerator.federation_batches` then emits the federation
+    work as a lazy stream of :class:`FederationBatch` es whose RNG draws and
+    activity-creation order are identical to the seed's one-at-a-time loop.
+    The perf harness uses this split to drive the same work stream through
+    the batched engine and the seed-faithful baseline.
+    """
+
+    registry: FediverseRegistry
+    ground_truth: GroundTruth
+    config: SynthConfig
+    rng: random.Random
+    policy_assignment: dict[str, list[str]]
+    stats: GenerationStats
+
+
 class FediverseGenerator:
     """Generate a synthetic fediverse calibrated to the paper."""
 
@@ -113,10 +149,26 @@ class FediverseGenerator:
         self.config = config or SynthConfig()
 
     # ------------------------------------------------------------------ #
-    # Entry point
+    # Entry points
     # ------------------------------------------------------------------ #
     def generate(self) -> GeneratedFediverse:
-        """Build and return the complete synthetic fediverse."""
+        """Build and return the complete synthetic fediverse.
+
+        Federation runs through the counting path of the delivery engine:
+        no per-delivery report objects are materialised (attach sinks to a
+        custom :class:`FederationDelivery` and call :meth:`federate` to
+        observe the report stream instead).  Ground truth, generation
+        statistics and the per-instance moderation-event streams are
+        identical to the seed's one-at-a-time delivery loop for a fixed
+        seed — the perf harness asserts this at scale.
+        """
+        prepared = self.prepare()
+        delivery = FederationDelivery(prepared.registry, sinks=[])
+        self.federate(prepared, delivery)
+        return self._finalise(prepared, delivery)
+
+    def prepare(self) -> PreparedFediverse:
+        """Build everything up to the federation phase (no deliveries yet)."""
         config = self.config
         rng = random.Random(config.seed)
         clock = SimulationClock()
@@ -134,19 +186,58 @@ class FediverseGenerator:
 
         self._populate_users_and_posts(registry, rng, text, ground_truth, stats)
 
+        if config.instance_churn_rate > 0.0:
+            self._apply_churn(registry, rng, ground_truth)
+
         clock.advance_to(config.campaign_seconds)
-        delivery = FederationDelivery(registry)
-        self._federate(registry, rng, delivery, ground_truth, stats)
-
-        stats.pleroma_instances = len(registry.pleroma_instances())
-        stats.non_pleroma_instances = len(registry.non_pleroma_instances())
-
-        return GeneratedFediverse(
+        return PreparedFediverse(
             registry=registry,
             ground_truth=ground_truth,
             config=config,
-            delivery=delivery,
+            rng=rng,
             policy_assignment=policy_assignment,
+            stats=stats,
+        )
+
+    def federate(
+        self, prepared: PreparedFediverse, delivery: FederationDelivery
+    ) -> None:
+        """Consume the federation stream through the delivery engine.
+
+        Uses the counted delivery path: with a sink-less engine no report
+        objects exist at all; with sinks attached every sink still sees the
+        full report stream.
+        """
+        stats = prepared.stats
+        try:
+            for batch in self.federation_batches(prepared):
+                delivered, rejected = delivery.deliver_batch_counted(
+                    batch.activities, batch.target_domain
+                )
+                stats.federated_deliveries += delivered
+                stats.rejected_deliveries += rejected
+        finally:
+            # The shared ObjectAge rewrite cache only pays off within one
+            # federation run; dropping it here keeps finished runs' posts
+            # from being retained across repeated generate() calls.
+            from repro.mrf.object_age import clear_rewrite_cache
+
+            clear_rewrite_cache()
+
+    def _finalise(
+        self, prepared: PreparedFediverse, delivery: FederationDelivery
+    ) -> GeneratedFediverse:
+        """Assemble the result bundle after federation."""
+        registry = prepared.registry
+        stats = prepared.stats
+        stats.pleroma_instances = len(registry.pleroma_instances())
+        stats.non_pleroma_instances = len(registry.non_pleroma_instances())
+        return GeneratedFediverse(
+            registry=registry,
+            ground_truth=prepared.ground_truth,
+            config=prepared.config,
+            delivery=delivery,
+            policy_assignment=prepared.policy_assignment,
             stats=stats,
         )
 
@@ -485,17 +576,54 @@ class FediverseGenerator:
         return created
 
     # ------------------------------------------------------------------ #
-    # Federation
+    # Churn
     # ------------------------------------------------------------------ #
-    def _federate(
+    def _apply_churn(
         self,
         registry: FediverseRegistry,
         rng: random.Random,
-        delivery: FederationDelivery,
         ground_truth: GroundTruth,
-        stats: GenerationStats,
     ) -> None:
+        """Mark a share of Pleroma instances as going down mid-campaign.
+
+        Elite instances never churn (they were all crawlable in the paper);
+        affected instances keep answering until a random point inside the
+        churn window, then fail with a 503 — so a measurement campaign sees
+        them in early snapshot rounds and loses them later.
+        """
         config = self.config
+        window = config.churn_window_days * 24 * 3600.0
+        for instance in registry.pleroma_instances():
+            if instance.domain in ground_truth.elite_domains:
+                continue
+            if rng.random() >= config.instance_churn_rate:
+                continue
+            down_after = config.campaign_seconds + rng.random() * window
+            availability = instance.availability
+            instance.availability = InstanceAvailability(
+                status_code=availability.status_code,
+                reason=availability.reason,
+                down_after=down_after,
+            )
+            ground_truth.churned_domains.add(instance.domain)
+
+    # ------------------------------------------------------------------ #
+    # Federation
+    # ------------------------------------------------------------------ #
+    def federation_batches(
+        self, prepared: PreparedFediverse
+    ) -> Iterator[FederationBatch]:
+        """Emit the federation work as a lazy stream of per-target batches.
+
+        The RNG draws, activity-creation order and peer-list side effects are
+        identical to the seed's one-activity-at-a-time loop: batches simply
+        group the (receiver, posts) inner loop, so consuming the stream in
+        order reproduces the seed behaviour exactly.
+        """
+        config = self.config
+        registry = prepared.registry
+        rng = prepared.rng
+        ground_truth = prepared.ground_truth
         pleroma = registry.pleroma_instances()
         if len(pleroma) < 2:
             return
@@ -524,7 +652,17 @@ class FediverseGenerator:
                 continue
             receivers: list[Instance] = []
             receivers.extend(targeted_by.get(origin.domain, [])[:3])
-            fanout = rng.choices(pleroma, weights=weights, k=config.federation_fanout)
+            fanout_size = config.federation_fanout
+            # Hot origins (the ``burst`` scenario) fan out much more widely;
+            # the share defaults to 0 so no extra randomness is drawn and
+            # existing scenarios stay bit-identical.
+            if config.federation_hot_origin_share > 0.0:
+                if rng.random() < config.federation_hot_origin_share:
+                    fanout_size = max(
+                        1,
+                        int(round(fanout_size * config.federation_hot_fanout_multiplier)),
+                    )
+            fanout = rng.choices(pleroma, weights=weights, k=fanout_size)
             receivers.extend(fanout)
 
             sample_size = min(config.federation_posts_per_peer, len(local_posts))
@@ -535,13 +673,20 @@ class FediverseGenerator:
                 if receiver.domain == origin.domain or receiver.domain in seen_domains:
                     continue
                 seen_domains.add(receiver.domain)
-                for post in sample:
-                    author = origin.get_user(post.author.split("@", 1)[0])
-                    activity = create_activity(post, actor=Actor.from_user(author))
-                    report = delivery.deliver(activity, receiver.domain)
-                    stats.federated_deliveries += 1
-                    if report.rejected:
-                        stats.rejected_deliveries += 1
+                activities = tuple(
+                    create_activity(
+                        post,
+                        actor=Actor.from_user(
+                            origin.get_user(post.author.split("@", 1)[0])
+                        ),
+                    )
+                    for post in sample
+                )
+                yield FederationBatch(
+                    origin_domain=origin.domain,
+                    target_domain=receiver.domain,
+                    activities=activities,
+                )
 
             # Peers lists are much wider than actual deliveries: instances
             # remember every domain they ever saw.

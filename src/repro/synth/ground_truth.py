@@ -64,6 +64,8 @@ class GroundTruth:
     users_per_instance: dict[str, int] = field(default_factory=dict)
     #: domain -> number of local posts the generator created there.
     posts_per_instance: dict[str, int] = field(default_factory=dict)
+    #: Domains planted to go down mid-campaign (the ``churn`` scenario).
+    churned_domains: set[str] = field(default_factory=set)
 
     def category(self, domain: str) -> InstanceCategory:
         """Return the planted category of ``domain`` (mainstream by default)."""

@@ -22,6 +22,26 @@ SCENARIOS: dict[str, dict] = {
     # Stress scale for the performance harness (see repro.perf): big enough
     # that quadratic or per-record-scan hot paths dominate the wall clock.
     "large": {"n_pleroma_instances": 800, "campaign_days": 30.0},
+    # Beyond-paper scale: twice the large population, for engine stress runs.
+    "xlarge": {"n_pleroma_instances": 1600, "campaign_days": 30.0},
+    # Skewed federation load: a tenth of the origins go "hot" and fan out an
+    # order of magnitude wider, concentrating delivery traffic on the big
+    # receivers — the worst case for the delivery engine's batching.
+    "burst": {
+        "n_pleroma_instances": 400,
+        "campaign_days": 30.0,
+        "federation_fanout": 6,
+        "federation_hot_origin_share": 0.1,
+        "federation_hot_fanout_multiplier": 8.0,
+    },
+    # Instances going down mid-campaign: crawls see them early and lose them
+    # later, exercising snapshot-count / first-seen bookkeeping end-to-end.
+    "churn": {
+        "n_pleroma_instances": 400,
+        "campaign_days": 30.0,
+        "instance_churn_rate": 0.15,
+        "churn_window_days": 2.0,
+    },
     # Instance population matching the paper's 1,534 Pleroma instances.
     "paper": {
         "n_pleroma_instances": 1534,

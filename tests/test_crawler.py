@@ -97,6 +97,21 @@ class TestInstanceCrawler:
         assert snapshot.software == "mastodon"
         assert not snapshot.policies_exposed
 
+    def test_pleroma_version_parsing(self, client):
+        from repro.crawler.crawler import _parse_pleroma_version
+
+        pleroma = _parse_pleroma_version({"version": "2.7.2 (compatible; Pleroma 2.2.2)"})
+        assert pleroma == "2.2.2"
+        # Non-Pleroma software has no "Pleroma " marker: the raw compatibility
+        # string must not leak through as a bogus Pleroma version.
+        assert _parse_pleroma_version({"version": "3.3.0"}) == ""
+        assert _parse_pleroma_version({}) == ""
+
+    def test_mastodon_snapshot_has_no_pleroma_version(self, client):
+        crawler = InstanceCrawler(client)
+        snapshot = crawler.snapshot("masto.example", now=10.0)
+        assert snapshot.version == ""
+
 
 class TestTimelineCrawler:
     def test_collects_all_posts(self, client):

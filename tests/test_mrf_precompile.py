@@ -1,0 +1,260 @@
+"""Tests for the precompiled MRF fast path and policy prechecks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.activitypub.activities import create_activity, follow_activity
+from repro.activitypub.actors import Actor
+from repro.fediverse.clock import SECONDS_PER_DAY
+from repro.fediverse.post import Post
+from repro.mrf.bots import AntiFollowbotPolicy
+from repro.mrf.custom import CustomPolicy
+from repro.mrf.keywords import KeywordPolicy
+from repro.mrf.media import HashtagPolicy, StealEmojiPolicy
+from repro.mrf.noop import NoOpPolicy
+from repro.mrf.object_age import ObjectAgePolicy
+from repro.mrf.pipeline import MRFPipeline
+from repro.mrf.simple import SimplePolicy
+from repro.mrf.tag import TagAction, TagPolicy
+
+
+def make_post(domain="origin.example", created_at=0.0, **kwargs):
+    return Post(
+        post_id=f"{domain}-{random.randrange(10**9)}",
+        author=f"user@{domain}",
+        domain=domain,
+        content=kwargs.pop("content", "a perfectly ordinary post"),
+        created_at=created_at,
+        **kwargs,
+    )
+
+
+def make_activity(domain="origin.example", created_at=0.0, **kwargs):
+    return create_activity(make_post(domain=domain, created_at=created_at, **kwargs))
+
+
+def assert_equivalent(pipeline: MRFPipeline, activity, now: float):
+    """filter() (compiled) and filter_uncompiled() must agree, events included."""
+    compiled_events_before = len(pipeline.events)
+    compiled = pipeline.filter(activity, now=now)
+    compiled_events = pipeline.events[compiled_events_before:]
+
+    uncompiled_events_before = len(pipeline.events)
+    uncompiled = pipeline.filter_uncompiled(activity, now=now)
+    uncompiled_events = pipeline.events[uncompiled_events_before:]
+
+    assert compiled.verdict == uncompiled.verdict
+    assert compiled.policy == uncompiled.policy
+    assert compiled.action == uncompiled.action
+    assert compiled.reason == uncompiled.reason
+    assert compiled.modified == uncompiled.modified
+    assert [
+        (e.origin_domain, e.policy, e.action, e.accepted, e.reason)
+        for e in compiled_events
+    ] == [
+        (e.origin_domain, e.policy, e.action, e.accepted, e.reason)
+        for e in uncompiled_events
+    ]
+    return compiled
+
+
+class TestFastPath:
+    def test_never_acting_pipeline_compiles_to_noop(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(NoOpPolicy())
+        pipeline.add_policy(TagPolicy())  # no tagged users
+        pipeline.add_policy(CustomPolicy(name="MysteryPolicy"))  # no behaviour
+        compiled = pipeline.compiled()
+        assert compiled.never_acts
+        decision = pipeline.filter(make_activity(), now=10.0)
+        assert decision.accepted and not decision.modified
+        assert pipeline.events == []
+
+    def test_simple_policy_fast_skip_for_unlisted_origin(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(SimplePolicy(reject=["bad.example"], media_nsfw=["*.lewd.example"]))
+        ok = assert_equivalent(pipeline, make_activity("fine.example"), now=10.0)
+        assert ok.accepted
+        rejected = assert_equivalent(pipeline, make_activity("bad.example"), now=10.0)
+        assert rejected.rejected
+        wild = assert_equivalent(pipeline, make_activity("sub.lewd.example"), now=10.0)
+        assert wild.accepted and wild.modified
+
+    def test_accept_list_disables_fast_path(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(SimplePolicy(accept=["friend.example"]))
+        assert not pipeline.compiled().never_acts
+        rejected = assert_equivalent(pipeline, make_activity("stranger.example"), now=10.0)
+        assert rejected.rejected
+        accepted = assert_equivalent(pipeline, make_activity("friend.example"), now=10.0)
+        assert accepted.accepted
+
+    def test_object_age_cutoff(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(ObjectAgePolicy(threshold=7 * SECONDS_PER_DAY))
+        now = 30 * SECONDS_PER_DAY
+        young = assert_equivalent(
+            pipeline, make_activity(created_at=now - SECONDS_PER_DAY), now=now
+        )
+        assert young.accepted and not young.modified
+        old = assert_equivalent(pipeline, make_activity(created_at=0.0), now=now)
+        assert old.modified
+        assert old.action == "strip_followers"
+        assert old.reason == "delist+strip_followers"
+        assert old.activity.post.visibility.value == "unlisted"
+        assert old.activity.post.extra["followers_stripped"] is True
+        assert old.activity.extra["followers_stripped"] is True
+
+    def test_tag_policy_handles(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        tags = TagPolicy({"user@origin.example": [TagAction.FORCE_NSFW]})
+        pipeline.add_policy(tags)
+        flagged = assert_equivalent(pipeline, make_activity(), now=10.0)
+        assert flagged.modified and flagged.activity.post.sensitive
+        other = create_activity(make_post(), actor=Actor.from_handle("other@origin.example"))
+        untouched = assert_equivalent(pipeline, other, now=10.0)
+        assert untouched.accepted and not untouched.modified
+
+    def test_antifollowbot_gated_on_follows(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(AntiFollowbotPolicy())
+        create = assert_equivalent(pipeline, make_activity(), now=10.0)
+        assert create.accepted
+        bot = Actor(username="followbot", domain="origin.example", bot=True)
+        follow = follow_activity(bot, "alice@local.example", published=5.0)
+        rejected = assert_equivalent(pipeline, follow, now=10.0)
+        assert rejected.rejected
+
+    def test_opaque_policies_always_run(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(KeywordPolicy(reject=["forbidden phrase"]))
+        assert not pipeline.compiled().fully_prechecked
+        bad = make_activity(content="this contains the forbidden phrase indeed")
+        rejected = assert_equivalent(pipeline, bad, now=10.0)
+        assert rejected.rejected
+
+    def test_mixed_pipeline_equivalence_randomised(self):
+        """Twin pipelines (one compiled path, one uncompiled) see the same
+        activity stream and must produce identical decisions and events —
+        stateful policies (StealEmoji) evolve identically on both."""
+        now = 30 * SECONDS_PER_DAY
+
+        def build() -> MRFPipeline:
+            pipeline = MRFPipeline(local_domain="local.example")
+            pipeline.add_policy(ObjectAgePolicy())
+            pipeline.add_policy(
+                TagPolicy({"user@tagged.example": [TagAction.FORCE_UNLISTED]})
+            )
+            pipeline.add_policy(
+                SimplePolicy(reject=["bad.example"], media_nsfw=["nsfw.example"])
+            )
+            pipeline.add_policy(NoOpPolicy())
+            pipeline.add_policy(StealEmojiPolicy(hosts=["*.example"]))
+            pipeline.add_policy(HashtagPolicy(sensitive=["nsfw"]))
+            return pipeline
+
+        compiled_pipeline = build()
+        uncompiled_pipeline = build()
+        rng = random.Random(1234)
+        domains = ["bad.example", "nsfw.example", "tagged.example", "plain.example"]
+        for _ in range(60):
+            activity = make_activity(
+                domain=rng.choice(domains),
+                created_at=rng.uniform(0.0, now),
+                content=rng.choice(
+                    ["hello world", "spicy :emoji: content", "#nsfw tagged things"]
+                ),
+            )
+            compiled = compiled_pipeline.filter(activity, now=now)
+            uncompiled = uncompiled_pipeline.filter_uncompiled(activity, now=now)
+            assert (
+                compiled.verdict,
+                compiled.policy,
+                compiled.action,
+                compiled.reason,
+                compiled.modified,
+            ) == (
+                uncompiled.verdict,
+                uncompiled.policy,
+                uncompiled.action,
+                uncompiled.reason,
+                uncompiled.modified,
+            )
+        assert [
+            (e.origin_domain, e.policy, e.action, e.accepted, e.reason)
+            for e in compiled_pipeline.events
+        ] == [
+            (e.origin_domain, e.policy, e.action, e.accepted, e.reason)
+            for e in uncompiled_pipeline.events
+        ]
+
+
+class TestCompiledInvalidation:
+    def test_add_target_recompiles(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        policy = SimplePolicy()
+        pipeline.add_policy(policy)
+        assert pipeline.filter(make_activity("soon-bad.example"), now=1.0).accepted
+        policy.add_target("reject", "soon-bad.example")
+        assert pipeline.filter(make_activity("soon-bad.example"), now=1.0).rejected
+
+    def test_remove_target_recompiles(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        policy = SimplePolicy(reject=["bad.example"])
+        pipeline.add_policy(policy)
+        assert pipeline.filter(make_activity("bad.example"), now=1.0).rejected
+        policy.remove_target("reject", "bad.example")
+        assert pipeline.filter(make_activity("bad.example"), now=1.0).accepted
+
+    def test_tagging_recompiles(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        tags = TagPolicy()
+        pipeline.add_policy(tags)
+        assert not pipeline.filter(make_activity(), now=1.0).modified
+        tags.tag_user("user@origin.example", TagAction.FORCE_NSFW)
+        assert pipeline.filter(make_activity(), now=1.0).modified
+
+    def test_add_remove_policy_invalidates(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(NoOpPolicy())
+        assert pipeline.compiled().never_acts
+        pipeline.add_policy(SimplePolicy(reject=["bad.example"]))
+        assert not pipeline.compiled().never_acts
+        pipeline.remove_policy("SimplePolicy")
+        assert pipeline.compiled().never_acts
+
+
+class TestPolicyOrdering:
+    def test_remove_and_readd_appends_at_end(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(ObjectAgePolicy())
+        pipeline.add_policy(SimplePolicy(reject=["bad.example"]))
+        pipeline.add_policy(NoOpPolicy())
+        assert pipeline.policy_names == ["ObjectAgePolicy", "SimplePolicy", "NoOpPolicy"]
+
+        assert pipeline.remove_policy("ObjectAgePolicy")
+        assert pipeline.policy_names == ["SimplePolicy", "NoOpPolicy"]
+
+        pipeline.add_policy(ObjectAgePolicy())
+        assert pipeline.policy_names == ["SimplePolicy", "NoOpPolicy", "ObjectAgePolicy"]
+
+    def test_readding_changes_evaluation_order(self):
+        """After re-adding, SimplePolicy rejects before ObjectAge can rewrite."""
+        now = 30 * SECONDS_PER_DAY
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(ObjectAgePolicy())
+        pipeline.add_policy(SimplePolicy(reject=["bad.example"]))
+        old_activity = make_activity("bad.example", created_at=0.0)
+        pipeline.filter(old_activity, now=now)
+        # Original order: ObjectAge rewrote (event) before SimplePolicy rejected.
+        assert [e.policy for e in pipeline.events] == ["ObjectAgePolicy", "SimplePolicy"]
+
+        pipeline.events.clear()
+        assert pipeline.remove_policy("ObjectAgePolicy")
+        pipeline.add_policy(ObjectAgePolicy())
+        pipeline.filter(make_activity("bad.example", created_at=0.0), now=now)
+        # New order: the reject short-circuits before ObjectAge ever runs.
+        assert [e.policy for e in pipeline.events] == ["SimplePolicy"]

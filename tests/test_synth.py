@@ -262,7 +262,16 @@ class TestGenerator:
 
 class TestScenarios:
     def test_known_scenarios(self):
-        assert {"tiny", "small", "medium", "paper"} <= set(SCENARIOS)
+        assert {
+            "tiny",
+            "small",
+            "medium",
+            "large",
+            "xlarge",
+            "burst",
+            "churn",
+            "paper",
+        } <= set(SCENARIOS)
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(ValueError):
@@ -275,3 +284,80 @@ class TestScenarios:
     def test_build_scenario_runs(self):
         fediverse = build_scenario("tiny", seed=3)
         assert fediverse.stats.users > 0
+
+    def test_xlarge_scales_beyond_large(self):
+        assert (
+            SCENARIOS["xlarge"]["n_pleroma_instances"]
+            > SCENARIOS["large"]["n_pleroma_instances"]
+        )
+
+    def test_plain_scenarios_have_no_burst_or_churn(self):
+        for name in ("tiny", "small", "medium", "large", "paper"):
+            config = scenario_config(name)
+            assert config.federation_hot_origin_share == 0.0
+            assert config.instance_churn_rate == 0.0
+
+
+class TestBurstScenario:
+    def test_hot_origins_widen_fanout(self):
+        base = build_scenario("burst", seed=9, n_pleroma_instances=40,
+                              federation_hot_origin_share=0.0)
+        burst = build_scenario("burst", seed=9, n_pleroma_instances=40)
+        assert burst.stats.federated_deliveries > base.stats.federated_deliveries
+        assert burst.stats.users == base.stats.users  # only federation differs
+
+    def test_burst_deterministic(self):
+        first = build_scenario("burst", seed=9, n_pleroma_instances=40)
+        second = build_scenario("burst", seed=9, n_pleroma_instances=40)
+        assert first.stats == second.stats
+        assert first.ground_truth.summary() == second.ground_truth.summary()
+
+
+class TestChurnScenario:
+    def test_churned_instances_marked(self):
+        fediverse = build_scenario("churn", seed=9, n_pleroma_instances=40)
+        churned = fediverse.ground_truth.churned_domains
+        assert churned
+        for domain in churned:
+            availability = fediverse.registry.get(domain).availability
+            assert availability.down_after is not None
+            assert availability.down_after >= fediverse.config.campaign_seconds
+        # Elite instances never churn.
+        assert not churned & set(fediverse.ground_truth.elite_domains)
+
+    def test_churned_instance_goes_down_over_time(self):
+        fediverse = build_scenario("churn", seed=9, n_pleroma_instances=40)
+        crawlable = [
+            domain
+            for domain in sorted(fediverse.ground_truth.churned_domains)
+            if fediverse.registry.get(domain).availability.status_code == 200
+        ]
+        assert crawlable
+        availability = fediverse.registry.get(crawlable[0]).availability
+        assert availability.ok_at(availability.down_after - 1.0)
+        assert not availability.ok_at(availability.down_after)
+        assert availability.status_at(availability.down_after) == 503
+
+    def test_churn_campaign_loses_instances_mid_crawl(self):
+        from repro.experiments.pipeline import ReproPipeline
+
+        pipeline = ReproPipeline(
+            scenario="churn",
+            seed=9,
+            campaign_days=1.5,
+            n_pleroma_instances=40,
+            instance_churn_rate=0.3,
+        )
+        crawl = pipeline.crawl
+        churned = pipeline.fediverse.ground_truth.churned_domains
+        assert churned
+        rounds = max(crawl.snapshot_counts.values())
+        partially_seen = [
+            domain
+            for domain in churned
+            if 0 < crawl.snapshot_counts.get(domain, 0) < rounds
+        ]
+        # At least one churned instance was seen early and lost later.
+        assert partially_seen
+        # The dataset still builds and the analysis runs end-to-end.
+        assert pipeline.dataset.stats()["pleroma_instances"] > 0
