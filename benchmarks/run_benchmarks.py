@@ -35,6 +35,8 @@ def _print_report(report: BenchReport) -> None:
         naive = metrics.get("naive_seconds", 0.0)
         fast = (
             metrics.get("indexed_seconds")
+            or metrics.get("compiled_seconds")
+            or metrics.get("columns_seconds")
             or metrics.get("single_pass_seconds")
             or metrics.get("optimised_seconds")
             or metrics.get("engine_seconds")
@@ -44,6 +46,26 @@ def _print_report(report: BenchReport) -> None:
             f"   {section:16s} {fast * 1000:9.2f} ms vs {naive * 1000:9.2f} ms naive"
             f"  -> {speedup:6.1f}x"
         )
+
+
+def _check_speedups(reports: list[BenchReport], minimum: float) -> list[str]:
+    """Return one line per bench stage whose recorded speedup is below ``minimum``.
+
+    The CI smoke job runs with ``--min-speedup 1.0``: a regenerated BENCH
+    output in which any optimised path is *slower* than its seed-faithful
+    baseline fails the job, so perf regressions surface on the PR that
+    introduces them rather than in a later re-measure.
+    """
+    failures = []
+    for report in reports:
+        for section, metrics in report.metrics.items():
+            speedup = metrics.get("speedup")
+            if speedup is not None and speedup < minimum:
+                failures.append(
+                    f"{report.scenario}/{section}: speedup {speedup:.2f}x "
+                    f"below the {minimum:.2f}x floor"
+                )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -63,9 +85,16 @@ def main(argv: list[str] | None = None) -> int:
         default=Path(__file__).resolve().parent.parent,
         help="where BENCH_<scenario>.json files are written (default: repo root)",
     )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 1) if any stage's recorded speedup falls below this",
+    )
     args = parser.parse_args(argv)
     scenarios = tuple(args.scenario) if args.scenario else ("small", "large")
 
+    reports = []
     for scenario in scenarios:
         report = run_scenario(
             scenario,
@@ -76,6 +105,16 @@ def main(argv: list[str] | None = None) -> int:
         path = write_bench_json(report, args.out_dir)
         _print_report(report)
         print(f"   wrote {path}")
+        reports.append(report)
+
+    if args.min_speedup is not None:
+        failures = _check_speedups(reports, args.min_speedup)
+        if failures:
+            print("PERF REGRESSION:")
+            for line in failures:
+                print(f"   {line}")
+            return 1
+        print(f"all speedups clear the {args.min_speedup:.2f}x floor")
     return 0
 
 

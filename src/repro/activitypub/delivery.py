@@ -196,6 +196,9 @@ class FederationDelivery:
         self.registry = registry
         self.stats = FederationStats()
         self.reports: list[DeliveryReport] = []
+        #: How many single-origin batches were rejected wholesale by the
+        #: shared-decision fast path (see :meth:`deliver_batch`).
+        self.batch_rejects = 0
         if sinks is None:
             self.sinks: list[DeliverySink] = [ListSink(self.reports)]
         else:
@@ -227,8 +230,12 @@ class FederationDelivery:
 
     def _validate_batch(
         self, target: Instance, activities: list[Activity]
-    ) -> None:
-        """Reject origin self-delivery and record peer relations (once per origin)."""
+    ) -> set[str]:
+        """Reject origin self-delivery and record peer relations (once per origin).
+
+        Returns the distinct origins of the batch, so callers can take the
+        shared-decision fast path for origin-pure batches.
+        """
         target_domain = target.domain
         registry = self.registry
         origins_seen: set[str] = set()
@@ -243,17 +250,54 @@ class FederationDelivery:
                 # Activity origins and instance domains are normalised on
                 # construction, so the fast path is safe here.
                 registry.federate_normalised(origin, target_domain)
+        return origins_seen
+
+    def _batch_reject(
+        self, target: Instance, activities: list[Activity], origins: set[str], now: float
+    ) -> tuple[str, str, str] | None:
+        """Try the shared-decision reject for a single-origin batch.
+
+        Returns the shared ``(policy, action, reason)`` — with the
+        per-activity moderation events already logged by the pipeline —
+        or ``None`` when the batch must be filtered normally.
+        """
+        if len(origins) != 1 or not activities:
+            return None
+        shared = target.mrf.batch_reject(activities, next(iter(origins)), now)
+        if shared is not None:
+            self.batch_rejects += 1
+        return shared
 
     def _deliver_to(
         self, target: Instance, activities: Iterable[Activity]
     ) -> list[DeliveryReport]:
         """Batched delivery core: ``target`` is already resolved."""
         activities = list(activities)
-        self._validate_batch(target, activities)
+        origins = self._validate_batch(target, activities)
         registry = self.registry
         target_domain = target.domain
+        now = registry.clock.now()
 
-        decisions = target.mrf.filter_batch_lazy(activities, now=registry.clock.now())
+        shared = self._batch_reject(target, activities, origins, now)
+        if shared is not None:
+            policy, action, reason = shared
+            reports = []
+            for activity in activities:
+                report = DeliveryReport(
+                    activity_id=activity.activity_id,
+                    origin_domain=activity.origin_domain,
+                    target_domain=target_domain,
+                    accepted=False,
+                    policy=policy,
+                    action=action,
+                    reason=reason,
+                    modified=False,
+                )
+                self._record(report)
+                reports.append(report)
+            return reports
+
+        decisions = target.mrf.filter_batch_lazy(activities, now=now)
         reports = []
         for activity, decision in zip(activities, decisions):
             if decision is None:
@@ -306,9 +350,20 @@ class FederationDelivery:
         registry = self.registry
         target = registry.get(normalise_domain(target_domain))
         activities = list(activities)
-        self._validate_batch(target, activities)
+        origins = self._validate_batch(target, activities)
+        now = registry.clock.now()
 
-        decisions = target.mrf.filter_batch_lazy(activities, now=registry.clock.now())
+        shared = self._batch_reject(target, activities, origins, now)
+        if shared is not None:
+            policy = shared[0]
+            stats = self.stats
+            count = len(activities)
+            stats.delivered += count
+            stats.rejected += count
+            stats.by_policy[policy] = stats.by_policy.get(policy, 0) + count
+            return count, count
+
+        decisions = target.mrf.filter_batch_lazy(activities, now=now)
         stats = self.stats
         by_policy = stats.by_policy
         create = ActivityType.CREATE

@@ -67,8 +67,9 @@ class PolicyPrecheck:
 
     Semantics of :meth:`may_touch`: the gate fields (``activity_types``,
     ``local_origin_only``) are ANDed first; the trigger fields (``domains``,
-    ``suffixes``, ``handles``, ``max_post_age``, ``match_all``) are then
-    ORed.  An all-default precheck means the policy never acts.
+    ``suffixes``, ``handles``, ``max_post_age``, ``post_visibilities``,
+    ``match_all``) are then ORed.  An all-default precheck means the policy
+    never acts.
     """
 
     #: Exact (already normalised) origin domains the policy might act on.
@@ -81,6 +82,9 @@ class PolicyPrecheck:
     activity_types: frozenset[ActivityType] | None = None
     #: The policy acts only on activities carrying a post older than this.
     max_post_age: float | None = None
+    #: The policy acts only on activities carrying a post of one of these
+    #: visibilities (content-shaped trigger, e.g. RejectNonPublic).
+    post_visibilities: frozenset = frozenset()
     #: The policy acts only on activities originating locally.
     local_origin_only: bool = False
     #: The policy might act on anything that passes the gates above.
@@ -105,9 +109,14 @@ class PolicyPrecheck:
                 return True
         if self.handles and activity.actor.handle.lower() in self.handles:
             return True
-        if self.max_post_age is not None:
-            obj = activity.obj
-            if obj.__class__ is Post and now - obj.created_at > self.max_post_age:
+        obj = activity.obj
+        if obj.__class__ is Post:
+            if (
+                self.max_post_age is not None
+                and now - obj.created_at > self.max_post_age
+            ):
+                return True
+            if self.post_visibilities and obj.visibility in self.post_visibilities:
                 return True
         return False
 

@@ -15,6 +15,7 @@ from repro.mrf.base import (
     PolicyPrecheck,
     Verdict,
 )
+from repro.mrf.simple import SimplePolicy as _SimplePolicy
 
 
 class CompiledPipeline:
@@ -39,7 +40,9 @@ class CompiledPipeline:
         "handles",
         "match_all",
         "min_post_age",
+        "visibilities",
         "special",
+        "head_simple",
     )
 
     def __init__(self, policies: Sequence[MRFPolicy]) -> None:
@@ -47,6 +50,7 @@ class CompiledPipeline:
         domains: set[str] = set()
         suffixes: set[str] = set()
         handles: set[str] = set()
+        visibilities: set = set()
         special: list[PolicyPrecheck] = []
         match_all = False
         min_post_age: float | None = None
@@ -62,6 +66,7 @@ class CompiledPipeline:
                 and not pre.domains
                 and not pre.suffixes
                 and not pre.handles
+                and not pre.post_visibilities
                 and pre.max_post_age is None
             ):
                 # The policy provably never acts (NoOpPolicy, an empty
@@ -77,6 +82,7 @@ class CompiledPipeline:
             domains.update(pre.domains)
             suffixes.update(pre.suffixes)
             handles.update(pre.handles)
+            visibilities.update(pre.post_visibilities)
             if pre.max_post_age is not None:
                 if min_post_age is None or pre.max_post_age < min_post_age:
                     min_post_age = pre.max_post_age
@@ -88,11 +94,18 @@ class CompiledPipeline:
         self.handles = frozenset(handles)
         self.match_all = match_all
         self.min_post_age = min_post_age
+        self.visibilities = frozenset(visibilities)
         self.special = tuple(special)
         # With every (non-trivial) entry gone, no enabled policy can ever
         # act: the whole pipeline is a provable no-op and batches skip even
         # the per-activity membership checks.
         self.never_acts = fully_prechecked and not self.entries
+        # When the first surviving entry is a SimplePolicy, its origin-pure
+        # rejects (the reject action and the accept-list gate) short-circuit
+        # the rest of the walk for every activity of that origin — the
+        # batched delivery engine shares one such decision per batch.
+        head = entries[0][0] if entries else None
+        self.head_simple = head if isinstance(head, _SimplePolicy) else None
 
     def origin_may_trigger(self, origin: str) -> bool:
         """The origin-dependent half of :meth:`may_any_touch`.
@@ -116,14 +129,38 @@ class CompiledPipeline:
         """The per-activity half of :meth:`may_any_touch`."""
         if self.handles and activity.actor.handle.lower() in self.handles:
             return True
-        if self.min_post_age is not None:
+        if self.min_post_age is not None or self.visibilities:
             obj = activity.obj
-            if obj.__class__ is Post and now - obj.created_at > self.min_post_age:
-                return True
+            if obj.__class__ is Post:
+                if (
+                    self.min_post_age is not None
+                    and now - obj.created_at > self.min_post_age
+                ):
+                    return True
+                if self.visibilities and obj.visibility in self.visibilities:
+                    return True
         for pre in self.special:
             if pre.may_touch(activity, now, local_domain):
                 return True
         return False
+
+    def batch_reject_for(self, origin: str, local_domain: str) -> tuple[str, str, str] | None:
+        """Return the shared ``(policy, action, reason)`` rejecting every
+        activity from ``origin``, or ``None``.
+
+        Non-``None`` only when the head entry is a SimplePolicy whose
+        origin-pure checks fire — those short-circuit before any other
+        policy (or any per-activity state) can matter, so one decision is
+        provably valid for a whole single-origin batch.
+        """
+        head = self.head_simple
+        if head is None:
+            return None
+        hit = head.unconditional_reject(origin, local_domain)
+        if hit is None:
+            return None
+        action, reason = hit
+        return (head.name, action, reason)
 
     def may_any_touch(self, activity: Activity, now: float, local_domain: str) -> bool:
         """Return ``True`` when any enabled policy could act on ``activity``."""
@@ -280,9 +317,11 @@ class MRFPipeline:
         origin_may_trigger = compiled.origin_may_trigger
         handles = compiled.handles
         min_post_age = compiled.min_post_age
+        visibilities = compiled.visibilities
         special = compiled.special
         residual = compiled.residual_may_touch
         plain_residual = not handles and not special
+        content_blind = min_post_age is None and not visibilities
         ctx: MRFContext | None = None
         decisions: list[MRFDecision | None] = []
         append = decisions.append
@@ -295,13 +334,16 @@ class MRFPipeline:
                     origin_triggers[origin] = triggered
                 if not triggered:
                     if plain_residual:
-                        if min_post_age is None:
+                        if content_blind:
                             append(None)
                             continue
                         obj = activity.obj
-                        if not (
-                            obj.__class__ is Post
-                            and now - obj.created_at > min_post_age
+                        if obj.__class__ is not Post or not (
+                            (
+                                min_post_age is not None
+                                and now - obj.created_at > min_post_age
+                            )
+                            or (visibilities and obj.visibility in visibilities)
                         ):
                             append(None)
                             continue
@@ -319,6 +361,41 @@ class MRFPipeline:
             else:
                 append(self._run(activity, ctx, compiled))
         return decisions
+
+    def batch_reject(
+        self, activities: Sequence[Activity], origin: str, now: float
+    ) -> tuple[str, str, str] | None:
+        """Shared-decision fast path for a single-origin batch.
+
+        When the head SimplePolicy rejects everything from ``origin``
+        unconditionally, log one :class:`~repro.mrf.base.ModerationEvent`
+        per activity — exactly what running :meth:`filter` per activity
+        would have recorded — and return the shared
+        ``(policy, action, reason)``; the caller then skips the
+        per-activity filtering loop entirely.  ``None`` means no shared
+        decision applies and the batch must be filtered normally.
+        """
+        shared = self.compiled().batch_reject_for(origin, self.local_domain)
+        if shared is None:
+            return None
+        policy, action, reason = shared
+        local_domain = self.local_domain
+        append = self.events.append
+        for activity in activities:
+            event = object.__new__(ModerationEvent)
+            event.__dict__.update(
+                timestamp=now,
+                moderating_domain=local_domain,
+                origin_domain=origin,
+                policy=policy,
+                action=action,
+                activity_type=activity.activity_type.value,
+                activity_id=activity.activity_id,
+                accepted=False,
+                reason=reason,
+            )
+            append(event)
+        return shared
 
     def _run(
         self, activity: Activity, ctx: MRFContext, compiled: CompiledPipeline

@@ -315,6 +315,35 @@ class SimplePolicy(MRFPolicy):
             modified=True,
         )
 
+    def unconditional_reject(self, origin: str, local_domain: str) -> tuple[str, str] | None:
+        """Return the ``(action, reason)`` applied to *every* activity from ``origin``.
+
+        ``None`` when activities from the origin are not uniformly
+        rejected.  Only the two origin-pure, type-independent checks at
+        the head of :meth:`filter` qualify — the accept-list gate and the
+        ``reject`` action; ``reject_deletes``/``report_removal`` depend on
+        the activity type and never do.  Batched delivery uses this to
+        reject a whole single-origin batch without running the filter per
+        activity (``origin`` must already be normalised, as activity
+        origins are).
+        """
+        accept_list = self._targets[SimplePolicyAction.ACCEPT]
+        if (
+            accept_list
+            and origin != local_domain
+            and not self._matches_normalised(SimplePolicyAction.ACCEPT, origin)
+        ):
+            return (
+                SimplePolicyAction.ACCEPT.value,
+                f"{origin} is not on the accept list",
+            )
+        if self._matches_normalised(SimplePolicyAction.REJECT, origin):
+            return (
+                SimplePolicyAction.REJECT.value,
+                f"all activities from {origin} are rejected",
+            )
+        return None
+
     def precheck(self) -> PolicyPrecheck:
         """Expose the target-domain sets as a cheap pre-check.
 

@@ -26,8 +26,32 @@ class RejectNonPublic(MRFPolicy):
     name = "RejectNonPublic"
 
     def __init__(self, allow_followers_only: bool = False, allow_direct: bool = False) -> None:
-        self.allow_followers_only = allow_followers_only
-        self.allow_direct = allow_direct
+        self._allow_followers_only = bool(allow_followers_only)
+        self._allow_direct = bool(allow_direct)
+        self.config_version = 0
+
+    # The allow flags are exposed as version-bumping properties so compiled
+    # pipelines recompile when a flag is flipped in place (the precheck
+    # below bakes the disallowed visibilities into the fast-path table).
+    @property
+    def allow_followers_only(self) -> bool:
+        """Whether followers-only posts are accepted."""
+        return self._allow_followers_only
+
+    @allow_followers_only.setter
+    def allow_followers_only(self, value: bool) -> None:
+        self._allow_followers_only = bool(value)
+        self._bump_config_version()
+
+    @property
+    def allow_direct(self) -> bool:
+        """Whether direct posts are accepted."""
+        return self._allow_direct
+
+    @allow_direct.setter
+    def allow_direct(self, value: bool) -> None:
+        self._allow_direct = bool(value)
+        self._bump_config_version()
 
     def config(self) -> dict[str, Any]:
         """Return which non-public visibilities are allowed."""
@@ -35,6 +59,22 @@ class RejectNonPublic(MRFPolicy):
             "allow_followersonly": self.allow_followers_only,
             "allow_direct": self.allow_direct,
         }
+
+    def precheck(self) -> PolicyPrecheck:
+        """The policy can only act on posts of a disallowed visibility.
+
+        A content-shaped precheck: public/unlisted posts (the overwhelming
+        majority of federated traffic) provably pass untouched, so compiled
+        pipelines keep them on the fast path.  With both visibility classes
+        allowed the precheck is trigger-less and the policy is dropped from
+        the walk entirely.
+        """
+        disallowed = set()
+        if not self._allow_followers_only:
+            disallowed.add(Visibility.FOLLOWERS_ONLY)
+        if not self._allow_direct:
+            disallowed.add(Visibility.DIRECT)
+        return PolicyPrecheck(post_visibilities=frozenset(disallowed))
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Reject non-public posts unless their visibility class is allowed."""

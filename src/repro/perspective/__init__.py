@@ -22,7 +22,9 @@ from repro.perspective.attributes import (
     HARMFUL_THRESHOLD,
 )
 from repro.perspective.client import AnalysisResult, PerspectiveClient, RateLimitExceeded
+from repro.perspective.corpus import CorpusColumns
 from repro.perspective.lexicon import Lexicon, default_lexicon
+from repro.perspective.matcher import CompiledLexiconMatcher
 from repro.perspective.scorer import LexiconScorer, density_for_score, score_for_density
 
 __all__ = [
@@ -33,6 +35,8 @@ __all__ = [
     "AnalysisResult",
     "PerspectiveClient",
     "RateLimitExceeded",
+    "CompiledLexiconMatcher",
+    "CorpusColumns",
     "Lexicon",
     "default_lexicon",
     "LexiconScorer",

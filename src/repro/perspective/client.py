@@ -66,6 +66,7 @@ class PerspectiveClient:
         scorer: LexiconScorer | None = None,
         quota_per_window: int | None = None,
         max_cache_size: int | None = None,
+        corpus=None,
     ) -> None:
         if quota_per_window is not None and quota_per_window <= 0:
             raise ValueError("quota_per_window must be positive (or None)")
@@ -74,9 +75,33 @@ class PerspectiveClient:
         self.scorer = scorer or LexiconScorer()
         self.quota_per_window = quota_per_window
         self.max_cache_size = max_cache_size
+        self.corpus = corpus
         self.stats = ClientStats()
         self._cache: dict[str, AttributeScores] = {}
         self._window_requests = 0
+
+    def attach_corpus(self, corpus) -> None:
+        """Serve scores from materialised corpus columns.
+
+        ``corpus`` is a :class:`~repro.perspective.corpus.CorpusColumns`
+        built over the same scorer.  Only the scoring work changes —
+        request counting, quota charging and the text cache behave exactly
+        as without a corpus, and the derived scores are bitwise identical
+        to :meth:`LexiconScorer.score`, so attaching one is observable
+        only as throughput.
+
+        Clients with a bounded cache (``max_cache_size``) ignore the
+        corpus: it interns every analysed text for the campaign's
+        lifetime, which would silently defeat the memory bound the LRU
+        promises.
+        """
+        self.corpus = corpus
+
+    def _corpus_scores(self) -> "object | None":
+        """Return the corpus to score through, or ``None`` to use the scorer."""
+        if self.max_cache_size is not None:
+            return None
+        return self.corpus
 
     # ------------------------------------------------------------------ #
     # Quota window management
@@ -138,7 +163,11 @@ class PerspectiveClient:
 
         self._charge_quota()
         self._count_request(attributes)
-        scores = self.scorer.score(text)
+        corpus = self._corpus_scores()
+        if corpus is not None:
+            scores = corpus.scores_for_text(text)
+        else:
+            scores = self.scorer.score(text)
         self._cache_put(text, scores)
         return AnalysisResult(text=text, scores=scores)
 
@@ -186,7 +215,12 @@ class PerspectiveClient:
             # Score whatever was charged — also when the quota ran out
             # mid-batch, so the cache ends up exactly as the sequential
             # path would have left it.
-            for text, scores in zip(order, self.scorer.score_many(order)):
+            corpus = self._corpus_scores()
+            if corpus is not None:
+                scored = corpus.scores_for(order)
+            else:
+                scored = self.scorer.score_many(order)
+            for text, scores in zip(order, scored):
                 self._cache_put(text, scores)
                 indices = slots[text]
                 results[indices[0]] = AnalysisResult(text=text, scores=scores)

@@ -15,6 +15,7 @@ import re
 from dataclasses import dataclass, field
 
 from repro.perspective.attributes import ATTRIBUTES, Attribute
+from repro.perspective.matcher import CompiledLexiconMatcher
 
 _WORD_RE = re.compile(r"[a-z0-9']+")
 
@@ -106,19 +107,36 @@ class Lexicon:
         for attribute in ATTRIBUTES:
             self.terms.setdefault(attribute, {})
         self._merged: dict[str, tuple[float, ...]] | None = None
+        self._matcher: CompiledLexiconMatcher | None = None
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic configuration version, bumped by every term mutation.
+
+        Derived structures built from a lexicon snapshot (the compiled
+        matcher, corpus score columns) stamp themselves with this value so
+        staleness is one integer comparison.
+        """
+        return self._version
+
+    def _invalidate(self) -> None:
+        self._merged = None
+        self._matcher = None
+        self._version += 1
 
     def add_term(self, attribute: Attribute, term: str, weight: float = 1.0) -> None:
         """Add (or overwrite) a weighted term for ``attribute``."""
         if weight <= 0:
             raise ValueError("term weight must be positive")
         self.terms[attribute][term.lower()] = float(weight)
-        self._merged = None
+        self._invalidate()
 
     def remove_term(self, attribute: Attribute, term: str) -> bool:
         """Remove a term; return ``True`` when it was present."""
         removed = self.terms[attribute].pop(term.lower(), None) is not None
         if removed:
-            self._merged = None
+            self._invalidate()
         return removed
 
     def weight(self, attribute: Attribute, token: str) -> float:
@@ -180,6 +198,19 @@ class Lexicon:
                 for position, weight in enumerate(weights):
                     totals[position] += weight
         return tuple(totals)
+
+    def compiled(self) -> CompiledLexiconMatcher:
+        """Return the compiled matching engine for the current lexicon.
+
+        Built lazily from :meth:`merged_table` and dropped by
+        :meth:`add_term`/:meth:`remove_term`, exactly like the merged table
+        itself — so the matcher can never observe a stale term set.
+        """
+        if self._matcher is None:
+            self._matcher = CompiledLexiconMatcher(
+                self.merged_table(), len(ATTRIBUTES)
+            )
+        return self._matcher
 
     def size(self) -> int:
         """Return the total number of terms across all attributes."""

@@ -17,7 +17,10 @@ which has two properties the reproduction relies on:
 from __future__ import annotations
 
 from repro.perspective.attributes import ATTRIBUTES, Attribute, AttributeScores
-from repro.perspective.lexicon import Lexicon, default_lexicon, tokenize
+from repro.perspective.lexicon import Lexicon, default_lexicon
+
+#: Attribute field names in vector order (for the hot construction path).
+_FIELD_NAMES = tuple(attribute.value for attribute in ATTRIBUTES)
 
 #: Gain applied to the harmful-term density.
 GAIN = 3.0
@@ -63,40 +66,77 @@ class LexiconScorer:
         self.ceiling = ceiling
 
     def score_attribute(self, text: str, attribute: Attribute) -> float:
-        """Score ``text`` on a single attribute."""
-        tokens = tokenize(text)
-        if not tokens:
+        """Score ``text`` on a single attribute.
+
+        Routed through the compiled merged-lexicon engine like
+        :meth:`score`: one boundary-anchored alternation scan finds the
+        hits, a counting-only pass supplies the denominator, and the
+        requested attribute's component is read from the merged weight
+        vectors.  Skipping the other attributes' components (and every
+        zero-weight token) is the float identity, so the result is bitwise
+        identical to the seed's per-attribute token walk.
+        """
+        matcher = self.lexicon.compiled()
+        lowered = text.lower()
+        hits = matcher.hits(lowered)
+        if hits is None:
+            # Either no tokens at all (the seed's 0.0) or only tokens the
+            # lexicon ignores (density 0.0 -> score 0.0 either way).
             return 0.0
-        hits = self.lexicon.weighted_hits(attribute, tokens)
-        return score_for_density(hits / len(tokens), self.gain, self.ceiling)
+        position = ATTRIBUTES.index(attribute)
+        count = matcher.count_tokens(lowered)
+        return score_for_density(hits[position] / count, self.gain, self.ceiling)
 
     def score(self, text: str) -> AttributeScores:
-        """Score ``text`` on every attribute with a single token pass."""
-        tokens = tokenize(text)
-        if not tokens:
+        """Score ``text`` on every attribute via the compiled engine.
+
+        Costs two C-level regex scans — the compiled lexicon alternation
+        plus the counting-only token pass — instead of a materialised
+        token list and per-token dict lookups; zero-hit texts (the common
+        case) skip the counting pass entirely.
+        """
+        matcher = self.lexicon.compiled()
+        lowered = text.lower()
+        hits = matcher.hits(lowered)
+        if hits is None:
             return AttributeScores()
-        all_hits = self.lexicon.weighted_hits_all(tokens)
-        count = len(tokens)
-        values = {
-            attribute.value: score_for_density(hits / count, self.gain, self.ceiling)
-            for attribute, hits in zip(ATTRIBUTES, all_hits)
-        }
-        return AttributeScores(**values)
+        return self._scores_from_column(matcher.count_tokens(lowered), hits)
+
+    def _scores_from_column(
+        self, count: int, hits: tuple[float, ...]
+    ) -> AttributeScores:
+        """Derive :class:`AttributeScores` from a ``(count, hits)`` column.
+
+        Hot path: built via ``__new__``/``__dict__`` to skip the frozen-
+        dataclass ``object.__setattr__`` walk and the range re-validation —
+        ``min(ceiling, gain * non-negative density)`` is in range by
+        construction, and the result is indistinguishable from one built
+        through the constructor (still immutable to callers).
+        """
+        gain = self.gain
+        ceiling = self.ceiling
+        scores = object.__new__(AttributeScores)
+        scores.__dict__.update(
+            zip(
+                _FIELD_NAMES,
+                (min(ceiling, gain * (weight / count)) for weight in hits),
+            )
+        )
+        return scores
 
     def score_many(self, texts: list[str]) -> list[AttributeScores]:
         """Score several texts, preserving order.
 
-        A genuine batch path: identical texts are tokenized and scored once
-        (federated posts are observed from several instances), and every
-        distinct text shares the single-pass scoring structure of
-        :meth:`score`.
+        A genuine batch path: identical texts are scored once (federated
+        posts are observed from several instances) and the distinct texts
+        go through the compiled engine's batched corpus scan — one blob
+        pass instead of one scan call per text.
         """
-        scored: dict[str, AttributeScores] = {}
-        results = []
-        for text in texts:
-            scores = scored.get(text)
-            if scores is None:
-                scores = self.score(text)
-                scored[text] = scores
-            results.append(scores)
-        return results
+        slots: dict[str, AttributeScores] = dict.fromkeys(texts)  # C-level dedup
+        order = list(slots)
+        matcher = self.lexicon.compiled()
+        zero = AttributeScores()
+        derive = self._scores_from_column
+        for text, (count, hits) in zip(order, matcher.scan(order)):
+            slots[text] = zero if hits is None else derive(count, hits)
+        return [slots[text] for text in texts]

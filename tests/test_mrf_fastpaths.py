@@ -1,0 +1,238 @@
+"""Tests for the delivery batch-reject fast path and the visibility precheck."""
+
+from __future__ import annotations
+
+import random
+
+from repro.activitypub.activities import create_activity, delete_activity
+from repro.activitypub.delivery import FederationDelivery
+from repro.fediverse.instance import Instance
+from repro.fediverse.post import Post, Visibility
+from repro.fediverse.registry import FediverseRegistry
+from repro.mrf.noop import NoOpPolicy
+from repro.mrf.object_age import ObjectAgePolicy
+from repro.mrf.pipeline import MRFPipeline
+from repro.mrf.simple import SimplePolicy
+from repro.mrf.visibility import RejectNonPublic
+
+
+def make_post(domain="origin.example", created_at=0.0, **kwargs):
+    return Post(
+        post_id=f"{domain}-{random.randrange(10**9)}",
+        author=f"user@{domain}",
+        domain=domain,
+        content=kwargs.pop("content", "a perfectly ordinary post"),
+        created_at=created_at,
+        **kwargs,
+    )
+
+
+def make_activity(domain="origin.example", created_at=0.0, **kwargs):
+    return create_activity(make_post(domain=domain, created_at=created_at, **kwargs))
+
+
+def event_view(pipeline):
+    return [
+        (e.timestamp, e.origin_domain, e.policy, e.action, e.activity_type, e.accepted, e.reason)
+        for e in pipeline.events
+    ]
+
+
+class TestUnconditionalReject:
+    def test_reject_set_is_unconditional(self):
+        policy = SimplePolicy(reject=["bad.example"])
+        assert policy.unconditional_reject("bad.example", "local.example") == (
+            "reject",
+            "all activities from bad.example are rejected",
+        )
+        assert policy.unconditional_reject("fine.example", "local.example") is None
+
+    def test_accept_list_miss_is_unconditional(self):
+        policy = SimplePolicy(accept=["friend.example"])
+        hit = policy.unconditional_reject("stranger.example", "local.example")
+        assert hit == ("accept", "stranger.example is not on the accept list")
+        assert policy.unconditional_reject("friend.example", "local.example") is None
+        # The local origin bypasses the accept list, as in filter().
+        assert policy.unconditional_reject("local.example", "local.example") is None
+
+    def test_type_gated_actions_are_not_unconditional(self):
+        policy = SimplePolicy(reject_deletes=["bad.example"], report_removal=["bad.example"])
+        assert policy.unconditional_reject("bad.example", "local.example") is None
+
+    def test_wildcard_reject_is_unconditional(self):
+        policy = SimplePolicy(reject=["*.bad.example"])
+        assert policy.unconditional_reject("sub.bad.example", "local.example") is not None
+
+
+class TestPipelineBatchReject:
+    def test_batch_reject_matches_per_activity_filtering(self):
+        shared_kwargs = dict(local_domain="local.example")
+        fast = MRFPipeline(**shared_kwargs)
+        slow = MRFPipeline(**shared_kwargs)
+        for pipeline in (fast, slow):
+            pipeline.add_policy(SimplePolicy(reject=["bad.example"]))
+            pipeline.add_policy(ObjectAgePolicy(threshold=100.0, actions=("delist",)))
+        activities = [make_activity("bad.example") for _ in range(5)]
+
+        shared = fast.batch_reject(activities, "bad.example", now=50.0)
+        assert shared == (
+            "SimplePolicy",
+            "reject",
+            "all activities from bad.example are rejected",
+        )
+        slow_decisions = [slow.filter(a, now=50.0) for a in activities]
+        assert all(d.rejected for d in slow_decisions)
+        assert event_view(fast) == event_view(slow)
+
+    def test_batch_reject_declines_when_simple_policy_not_first(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(ObjectAgePolicy(threshold=100.0, actions=("delist",)))
+        pipeline.add_policy(SimplePolicy(reject=["bad.example"]))
+        activities = [make_activity("bad.example")]
+        assert pipeline.batch_reject(activities, "bad.example", now=0.0) is None
+        assert pipeline.events == []
+
+    def test_inert_policies_before_simple_policy_do_not_block(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(NoOpPolicy())
+        pipeline.add_policy(SimplePolicy(reject=["bad.example"]))
+        assert (
+            pipeline.batch_reject([make_activity("bad.example")], "bad.example", now=0.0)
+            is not None
+        )
+
+
+def build_registry():
+    registry = FediverseRegistry()
+    target = Instance(domain="target.example", install_default_policies=False)
+    target.mrf.add_policy(SimplePolicy(reject=["bad.example"]))
+    registry.add_instance(target)
+    registry.add_instance(Instance(domain="bad.example", install_default_policies=False))
+    registry.add_instance(Instance(domain="fine.example", install_default_policies=False))
+    return registry
+
+
+class TestDeliveryBatchReject:
+    def test_origin_pure_reject_short_circuits_with_identical_reports(self):
+        from repro.activitypub.delivery import FederationStats
+        from repro.perf.baselines import naive_deliver
+
+        fast_registry = build_registry()
+        slow_registry = build_registry()
+        activities = [make_activity("bad.example") for _ in range(4)]
+
+        fast = FederationDelivery(fast_registry)
+        fast_reports = fast.deliver_batch(list(activities), "target.example")
+        assert fast.batch_rejects == 1
+
+        # The seed's one-deliver-at-a-time loop is the equivalence baseline.
+        slow_stats = FederationStats()
+        slow_reports: list = []
+        for activity in activities:
+            naive_deliver(slow_registry, activity, "target.example", slow_stats, slow_reports)
+
+        assert [
+            (r.origin_domain, r.target_domain, r.accepted, r.policy, r.action, r.reason)
+            for r in fast_reports
+        ] == [
+            (r.origin_domain, r.target_domain, r.accepted, r.policy, r.action, r.reason)
+            for r in slow_reports
+        ]
+        assert fast.stats == slow_stats
+        assert event_view(fast_registry.get("target.example").mrf) == event_view(
+            slow_registry.get("target.example").mrf
+        )
+
+    def test_counted_path_shares_the_decision(self):
+        registry = build_registry()
+        delivery = FederationDelivery(registry, sinks=[])
+        activities = [make_activity("bad.example") for _ in range(6)]
+        delivered, rejected = delivery.deliver_batch_counted(activities, "target.example")
+        assert (delivered, rejected) == (6, 6)
+        assert delivery.batch_rejects == 1
+        assert delivery.stats.by_policy == {"SimplePolicy": 6}
+        assert len(registry.get("target.example").mrf.events) == 6
+
+    def test_mixed_origin_batch_takes_the_normal_path(self):
+        registry = build_registry()
+        delivery = FederationDelivery(registry, sinks=[])
+        activities = [make_activity("bad.example"), make_activity("fine.example")]
+        delivered, rejected = delivery.deliver_batch_counted(activities, "target.example")
+        assert (delivered, rejected) == (2, 1)
+        assert delivery.batch_rejects == 0
+
+    def test_delete_activities_share_the_origin_pure_reject(self):
+        registry = build_registry()
+        delivery = FederationDelivery(registry, sinks=[])
+        post = make_post("bad.example")
+        create = create_activity(post)
+        activities = [create, delete_activity(post.uri, create.actor, published=5.0)]
+        delivered, rejected = delivery.deliver_batch_counted(activities, "target.example")
+        assert (delivered, rejected) == (2, 2)
+        assert delivery.batch_rejects == 1
+        types = [e.activity_type for e in registry.get("target.example").mrf.events]
+        assert types == ["Create", "Delete"]
+
+
+class TestRejectNonPublicPrecheck:
+    def assert_equivalent(self, pipeline, activity, now=10.0):
+        compiled = pipeline.filter(activity, now=now)
+        uncompiled = pipeline.filter_uncompiled(activity, now=now)
+        assert compiled.verdict == uncompiled.verdict
+        assert compiled.policy == uncompiled.policy
+        assert compiled.action == uncompiled.action
+        assert compiled.reason == uncompiled.reason
+        return compiled
+
+    def test_public_posts_skip_the_policy_loop(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(RejectNonPublic())
+        compiled = pipeline.compiled()
+        assert compiled.fully_prechecked
+        assert compiled.visibilities == frozenset(
+            {Visibility.FOLLOWERS_ONLY, Visibility.DIRECT}
+        )
+        decision = self.assert_equivalent(pipeline, make_activity())
+        assert decision.accepted
+
+    def test_non_public_posts_still_reject(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(RejectNonPublic())
+        for visibility in (Visibility.FOLLOWERS_ONLY, Visibility.DIRECT):
+            decision = self.assert_equivalent(
+                pipeline, make_activity(visibility=visibility)
+            )
+            assert decision.rejected
+
+    def test_allow_flags_narrow_the_precheck(self):
+        policy = RejectNonPublic(allow_followers_only=True)
+        assert policy.precheck().post_visibilities == frozenset({Visibility.DIRECT})
+        both = RejectNonPublic(allow_followers_only=True, allow_direct=True)
+        assert both.precheck().post_visibilities == frozenset()
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(both)
+        assert pipeline.compiled().never_acts
+
+    def test_flag_mutation_invalidates_compiled_pipeline(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        policy = RejectNonPublic()
+        pipeline.add_policy(policy)
+        direct = make_activity(visibility=Visibility.DIRECT)
+        assert self.assert_equivalent(pipeline, direct).rejected
+        policy.allow_direct = True
+        assert self.assert_equivalent(pipeline, direct).accepted
+        policy.allow_direct = False
+        assert self.assert_equivalent(pipeline, direct).rejected
+
+    def test_batch_residual_checks_visibility(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(RejectNonPublic())
+        batch = [
+            make_activity(),
+            make_activity(visibility=Visibility.DIRECT),
+            make_activity(visibility=Visibility.UNLISTED),
+        ]
+        lazy = pipeline.filter_batch_lazy(batch, now=10.0)
+        assert lazy[0] is None
+        assert lazy[1] is not None and lazy[1].rejected
+        assert lazy[2] is None

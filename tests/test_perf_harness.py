@@ -24,14 +24,24 @@ def tiny_report(tmp_path_factory):
 
 def test_report_contains_every_benchmark(tiny_report) -> None:
     report, _ = tiny_report
-    assert set(report.metrics) == {"ingestion", "scoring", "threshold_sweep", "delivery"}
+    assert set(report.metrics) == {
+        "ingestion",
+        "scoring",
+        "corpus",
+        "threshold_sweep",
+        "delivery",
+    }
     for metrics in report.metrics.values():
         assert metrics["speedup"] > 0.0
         assert metrics["naive_seconds"] >= 0.0
     assert report.metrics["scoring"]["posts_per_second"] > 0.0
+    assert report.metrics["scoring"]["single_pass_seconds"] > 0.0
+    assert report.metrics["corpus"]["relabels_per_second"] > 0.0
+    assert report.metrics["corpus"]["interned_texts"] > 0.0
     assert report.metrics["threshold_sweep"]["thresholds"] == len(SWEEP_THRESHOLDS)
     assert report.metrics["delivery"]["deliveries"] > 0.0
     assert report.metrics["delivery"]["batches"] > 0.0
+    assert report.metrics["delivery"]["batch_rejects"] >= 0.0
     assert report.dataset["posts"] > 0
 
 
