@@ -10,10 +10,10 @@ experiment reproduces the paper's breakdown of uncrawlable instances.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
-from repro.api.http import HTTPResponse, HTTPStatus
-from repro.api.server import FediverseAPIServer
+from repro.api.http import HTTPRequest, HTTPResponse, HTTPStatus
+from repro.api.server import FediverseAPIServer, TimelineStream
 
 
 class APIError(Exception):
@@ -35,8 +35,9 @@ class ClientStats:
     ok: int = 0
     failed: int = 0
     by_status: dict[int, int] = field(default_factory=dict)
+    by_domain: dict[str, int] = field(default_factory=dict)
 
-    def record(self, status: HTTPStatus) -> None:
+    def record(self, status: HTTPStatus, domain: str = "") -> None:
         """Update the counters for one response status."""
         self.requests += 1
         code = int(status)
@@ -45,6 +46,8 @@ class ClientStats:
             self.ok += 1
         else:
             self.failed += 1
+        if domain:
+            self.by_domain[domain] = self.by_domain.get(domain, 0) + 1
 
 
 class APIClient:
@@ -57,8 +60,62 @@ class APIClient:
     def get(self, domain: str, path: str) -> HTTPResponse:
         """Perform a GET and return the raw response (never raises)."""
         response = self.server.get(domain, path)
-        self.stats.record(response.status)
+        self.stats.record(response.status, domain)
         return response
+
+    # ------------------------------------------------------------------ #
+    # Batched accessors (the crawl engine's transport)
+    # ------------------------------------------------------------------ #
+    def get_many(
+        self, domain: str, paths: Sequence[HTTPRequest | str]
+    ) -> list[HTTPResponse]:
+        """Perform several GETs against one domain as a single batch.
+
+        Routes through :meth:`FediverseAPIServer.handle_batch` — one
+        instance resolution and availability check for the whole group —
+        while keeping request accounting identical to issuing the same
+        :meth:`get` calls one at a time: one counter update per response,
+        in request order.
+        """
+        responses = self.server.handle_batch(domain, paths)
+        record = self.stats.record
+        for response in responses:
+            record(response.status, domain)
+        return responses
+
+    def metadata_many(self, domains: Sequence[str]) -> list[HTTPResponse]:
+        """Fetch ``/api/v1/instance`` for a whole snapshot round of domains.
+
+        One response per domain, in order, with the same per-request
+        accounting as sequential :meth:`instance_metadata` calls.
+        """
+        responses = self.server.metadata_round(domains)
+        record = self.stats.record
+        for domain, response in zip(domains, responses):
+            record(response.status, domain)
+        return responses
+
+    def stream_timeline(
+        self,
+        domain: str,
+        local: bool = True,
+        page_size: int = 40,
+        max_posts: int | None = None,
+    ) -> TimelineStream:
+        """Fetch a whole paged public timeline as one batched stream.
+
+        Records exactly the page requests the seed's one-page-at-a-time
+        loop would have made: ``stream.pages`` successful page responses,
+        or a single failed response when the timeline is unreachable.
+        """
+        stream = self.server.stream_timeline(
+            domain, local=local, page_size=page_size, max_posts=max_posts
+        )
+        record = self.stats.record
+        status = stream.status
+        for _ in range(stream.pages):
+            record(status, domain)
+        return stream
 
     def get_json(self, domain: str, path: str) -> Any:
         """Perform a GET and return the JSON body, raising :class:`APIError`."""

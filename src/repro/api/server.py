@@ -6,22 +6,86 @@ One :class:`FediverseAPIServer` fronts an entire
 instance domain it targets; the server first applies that instance's
 availability (so 404/403/502/503/410 instances fail exactly as they did for
 the paper's crawler) and then routes the request to the endpoint handlers.
+
+Besides the per-request :meth:`FediverseAPIServer.handle` path, the server
+exposes the batch entry points of the crawl engine:
+:meth:`FediverseAPIServer.handle_batch` resolves the target instance and its
+availability once for a whole group of requests (serving the metadata
+endpoint from a fingerprint-validated payload cache), and
+:meth:`FediverseAPIServer.stream_timeline` serves an entire paged timeline
+collection in one call while keeping request accounting identical to a
+client paging through it.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Sequence
 
 from repro.api.http import HTTPRequest, HTTPResponse, HTTPStatus
 from repro.api.router import Router
 from repro.fediverse.errors import UnknownInstanceError
 from repro.fediverse.instance import Instance
+from repro.fediverse.post import Post, mentions_in
 from repro.fediverse.registry import FediverseRegistry
 
 #: Default page size of the public timeline endpoint (Mastodon's default is
 #: 20, with a maximum of 40; Pleroma accepts larger pages).
 DEFAULT_TIMELINE_LIMIT = 20
 MAX_TIMELINE_LIMIT = 40
+
+
+def serialise_status(post: Post) -> dict[str, Any]:
+    """Serialise a post for the timeline API, bypassing the seed's URI path.
+
+    Produces exactly :meth:`~repro.fediverse.post.Post.to_dict` (pinned by a
+    test), but builds the object URI with a plain f-string: ``post.domain``
+    is normalised at construction, so the per-post ``normalise_domain`` walk
+    inside ``make_post_uri`` is provably redundant on this path.
+    """
+    return {
+        "id": post.post_id,
+        "uri": f"https://{post.domain}/objects/{post.post_id}",
+        "account": post.author,
+        "content": post.content,
+        "created_at": post.created_at,
+        "visibility": post.visibility.value,
+        "sensitive": post.sensitive,
+        "spoiler_text": post.subject or "",
+        "in_reply_to_id": post.in_reply_to,
+        "language": post.language,
+        "tags": list(post.tags),
+        "media_attachments": [
+            {
+                "url": attachment.url,
+                "type": attachment.media_type,
+                "description": attachment.description,
+            }
+            for attachment in post.attachments
+        ],
+        "mentions": mentions_in(post.content),
+        "bot": post.is_bot,
+    }
+
+
+@dataclass(frozen=True)
+class TimelineStream:
+    """A whole paged timeline collection, served in one batch call.
+
+    ``pages`` is the number of page requests a client paging with the given
+    page size would have made — the stream keeps request accounting
+    identical to the per-page path, it only skips the per-page transport.
+    """
+
+    status: HTTPStatus
+    reason: str
+    statuses: list[dict[str, Any]]
+    pages: int
+
+    @property
+    def ok(self) -> bool:
+        """Return ``True`` when the timeline was served."""
+        return 200 <= int(self.status) < 300
 
 
 class FediverseAPIServer:
@@ -31,6 +95,13 @@ class FediverseAPIServer:
         self.registry = registry
         self.router = Router()
         self.requests_served = 0
+        #: Metadata responses served by the batch path, keyed by domain and
+        #: validated against :meth:`Instance.metadata_fingerprint` (the
+        #: single-request path stays stateless and seed-faithful).
+        self._metadata_cache: dict[str, tuple[tuple, HTTPResponse]] = {}
+        #: Availability-error responses, keyed by (status, reason) — they
+        #: are frozen and content-equal, so the batch path shares them.
+        self._error_cache: dict[tuple[int, str], HTTPResponse] = {}
         self._register_routes()
 
     # ------------------------------------------------------------------ #
@@ -56,6 +127,172 @@ class FediverseAPIServer:
         return self.handle(HTTPRequest.from_url(domain, url))
 
     # ------------------------------------------------------------------ #
+    # Batch entry points (the crawl engine)
+    # ------------------------------------------------------------------ #
+    def handle_batch(
+        self, domain: str, requests: Sequence[HTTPRequest | str]
+    ) -> list[HTTPResponse]:
+        """Serve a group of requests addressed to one instance.
+
+        The instance is resolved and its availability applied once for the
+        whole group — a batch models a single instant, which is exactly how
+        the crawler issues them (the simulation clock never advances inside
+        a snapshot or collection phase).  Static endpoint paths are served
+        directly from the resolved instance, skipping the URL parse and the
+        regex route walk; the metadata endpoint is additionally served from
+        the fingerprint-validated payload cache.  Responses and request
+        accounting are identical to per-request :meth:`handle` calls.
+        """
+        count = len(requests)
+        self.requests_served += count
+        try:
+            instance = self.registry.get(domain)
+        except UnknownInstanceError:
+            error = HTTPResponse.error(HTTPStatus.NOT_FOUND, "unknown instance")
+            return [error] * count
+        availability = instance.availability
+        now = self.registry.clock.now()
+        if not availability.ok_at(now):
+            status = HTTPStatus(availability.status_at(now))
+            error = HTTPResponse.error(status, availability.reason_at(now))
+            return [error] * count
+
+        responses = []
+        serves = self._resolved_serves
+        for request in requests:
+            path = request if isinstance(request, str) else request.path
+            serve = serves.get(path)
+            if serve is not None:
+                responses.append(serve(instance))
+                continue
+            if isinstance(request, str):
+                request = HTTPRequest.from_url(domain, request)
+            responses.append(self.router.dispatch(request))
+        return responses
+
+    def metadata_payload(self, instance: Instance) -> dict[str, Any]:
+        """Return the instance-metadata payload, cached across batch calls.
+
+        The cache is validated against
+        :meth:`~repro.fediverse.instance.Instance.metadata_fingerprint`, so
+        any mutation reachable through the regular mutators (users, posts,
+        peers, descriptive fields, version-bumping MRF configuration
+        changes) rebuilds the payload.  While the fingerprint is unchanged
+        the *same* payload object is returned, which is what lets the
+        crawler validate its parsed-template cache with an ``is`` check.
+        """
+        return self._serve_metadata(instance).body
+
+    def metadata_round(self, domains: Sequence[str]) -> list[HTTPResponse]:
+        """Serve one snapshot round's metadata requests in a single call.
+
+        Returns one response per domain, in order — exactly what the same
+        sequence of :meth:`handle` calls would produce at this instant —
+        with one availability evaluation per domain and cached payloads and
+        error responses.  Domains must already be normalised (crawl rounds
+        draw them from directory listings and instance records).
+        """
+        self.requests_served += len(domains)
+        registry = self.registry
+        now = registry.clock.now()
+        get = registry.get_normalised
+        serve = self._serve_metadata
+        responses = []
+        for domain in domains:
+            try:
+                instance = get(domain)
+            except UnknownInstanceError:
+                responses.append(self._availability_error(404, "unknown instance"))
+                continue
+            availability = instance.availability
+            if availability.ok_at(now):
+                responses.append(serve(instance))
+            else:
+                responses.append(
+                    self._availability_error(
+                        availability.status_at(now), availability.reason_at(now)
+                    )
+                )
+        return responses
+
+    def _availability_error(self, status: int, reason: str) -> HTTPResponse:
+        key = (status, reason)
+        response = self._error_cache.get(key)
+        if response is None:
+            response = HTTPResponse.error(HTTPStatus(status), reason)
+            self._error_cache[key] = response
+        return response
+
+    def stream_timeline(
+        self,
+        domain: str,
+        *,
+        local: bool = False,
+        page_size: int = DEFAULT_TIMELINE_LIMIT,
+        max_posts: int | None = None,
+    ) -> TimelineStream:
+        """Serve a whole paged timeline collection in one call.
+
+        Replays the exact accounting of a client paging with ``page_size``
+        through ``/api/v1/timelines/public``: ``pages`` page requests are
+        counted (the server-side limit clamp applies per page, while the
+        short-page stop condition uses the client's requested size), and
+        the statuses are the concatenation of the pages that client would
+        have received.  Serving them in one pass replaces the per-page
+        ``ids.index(max_id)`` scan + slice — quadratic in timeline length —
+        with a single walk.
+        """
+        self.requests_served += 1  # at least one page request is always made
+        try:
+            instance = self.registry.get(domain)
+        except UnknownInstanceError:
+            return TimelineStream(HTTPStatus.NOT_FOUND, "unknown instance", [], 1)
+        availability = instance.availability
+        now = self.registry.clock.now()
+        if not availability.ok_at(now):
+            status = HTTPStatus(availability.status_at(now))
+            return TimelineStream(status, availability.reason_at(now), [], 1)
+        if not instance.expose_public_timeline:
+            return TimelineStream(
+                HTTPStatus.FORBIDDEN, "public timeline requires authentication", [], 1
+            )
+
+        effective = max(1, min(page_size, MAX_TIMELINE_LIMIT))
+        timeline = (
+            instance.timelines.public if local else instance.timelines.whole_known_network
+        )
+        ids = timeline.latest(limit=0)  # the full timeline, newest first
+        total = len(ids)
+        collected = 0
+        pages = 1
+        # Replay the paging loop arithmetically: every iteration is one page
+        # request, stopping on an empty page, a short page (relative to the
+        # *client's* page size) or the max_posts cap.
+        while True:
+            page_len = min(effective, total - collected)
+            if page_len == 0:
+                break
+            collected += page_len
+            if max_posts is not None and collected >= max_posts:
+                collected = max_posts
+                break
+            if page_len < page_size:
+                break
+            pages += 1
+        self.requests_served += pages - 1
+        local_posts = instance.posts
+        remote_posts = instance.remote_posts
+        statuses = [
+            serialise_status(
+                local_posts[post_id]
+                if post_id in local_posts
+                else remote_posts[post_id]
+            )
+            for post_id in ids[:collected]
+        ]
+        return TimelineStream(HTTPStatus.OK, "", statuses, pages)
+
+    # ------------------------------------------------------------------ #
     # Endpoint handlers
     # ------------------------------------------------------------------ #
     def _register_routes(self) -> None:
@@ -65,6 +302,46 @@ class FediverseAPIServer:
         self.router.add("/nodeinfo/2.0", self._nodeinfo_endpoint)
         self.router.add("/api/v1/accounts/{username}", self._account_endpoint)
         self.router.add("/api/v1/accounts/{username}/statuses", self._account_statuses_endpoint)
+        # Static endpoints the batch path serves without the regex walk.
+        self._resolved_serves = {
+            "/api/v1/instance": self._serve_metadata,
+            "/api/v1/instance/peers": self._serve_peers,
+            "/nodeinfo/2.0": self._serve_nodeinfo,
+        }
+
+    def _serve_metadata(self, instance: Instance) -> HTTPResponse:
+        fingerprint = instance.metadata_fingerprint()
+        cached = self._metadata_cache.get(instance.domain)
+        if cached is not None and cached[0] == fingerprint:
+            return cached[1]
+        response = HTTPResponse.json_ok(instance.to_api_dict())
+        self._metadata_cache[instance.domain] = (fingerprint, response)
+        return response
+
+    def _serve_peers(self, instance: Instance) -> HTTPResponse:
+        return HTTPResponse.json_ok(sorted(instance.peers))
+
+    def _serve_nodeinfo(self, instance: Instance) -> HTTPResponse:
+        if not instance.expose_nodeinfo:
+            return HTTPResponse.error(HTTPStatus.NOT_FOUND, "nodeinfo not published")
+        return HTTPResponse.json_ok(
+            {
+                "version": "2.0",
+                "software": {
+                    "name": instance.software.value,
+                    "version": instance.version,
+                },
+                "protocols": ["activitypub"],
+                "openRegistrations": instance.registrations_open,
+                "usage": {
+                    "users": {"total": instance.user_count},
+                    "localPosts": instance.local_post_count,
+                },
+                "metadata": {
+                    "federation": instance.describe_mrf() if instance.is_pleroma else {},
+                },
+            }
+        )
 
     def _instance_for(self, request: HTTPRequest) -> Instance:
         return self.registry.get(request.domain)
@@ -76,8 +353,7 @@ class FediverseAPIServer:
 
     def _peers_endpoint(self, request: HTTPRequest) -> HTTPResponse:
         """``/api/v1/instance/peers``: every domain ever federated with."""
-        instance = self._instance_for(request)
-        return HTTPResponse.json_ok(sorted(instance.peers))
+        return self._serve_peers(self._instance_for(request))
 
     def _public_timeline_endpoint(self, request: HTTPRequest) -> HTTPResponse:
         """``/api/v1/timelines/public``: the public (or whole-known-network) timeline."""
@@ -106,25 +382,7 @@ class FediverseAPIServer:
 
     def _nodeinfo_endpoint(self, request: HTTPRequest) -> HTTPResponse:
         """``/nodeinfo/2.0``: software name/version and usage counts."""
-        instance = self._instance_for(request)
-        return HTTPResponse.json_ok(
-            {
-                "version": "2.0",
-                "software": {
-                    "name": instance.software.value,
-                    "version": instance.version,
-                },
-                "protocols": ["activitypub"],
-                "openRegistrations": instance.registrations_open,
-                "usage": {
-                    "users": {"total": instance.user_count},
-                    "localPosts": instance.local_post_count,
-                },
-                "metadata": {
-                    "federation": instance.describe_mrf() if instance.is_pleroma else {},
-                },
-            }
-        )
+        return self._serve_nodeinfo(self._instance_for(request))
 
     def _account_endpoint(self, request: HTTPRequest, username: str) -> HTTPResponse:
         """``/api/v1/accounts/{username}``: a single local account."""

@@ -19,7 +19,13 @@ from repro.crawler.directory import InstanceDirectory
 from repro.crawler.snapshots import CrawlFailure, InstanceSnapshot, TimelineCollection
 from repro.crawler.crawler import InstanceCrawler, TimelineCrawler
 from repro.crawler.builder import build_dataset
-from repro.crawler.campaign import CampaignConfig, CrawlResult, MeasurementCampaign
+from repro.crawler.campaign import (
+    CampaignConfig,
+    CountingCrawlSink,
+    CrawlResult,
+    CrawlSink,
+    MeasurementCampaign,
+)
 
 __all__ = [
     "InstanceDirectory",
@@ -30,6 +36,8 @@ __all__ = [
     "TimelineCrawler",
     "build_dataset",
     "CampaignConfig",
+    "CountingCrawlSink",
     "CrawlResult",
+    "CrawlSink",
     "MeasurementCampaign",
 ]

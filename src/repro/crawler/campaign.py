@@ -4,16 +4,26 @@ A campaign discovers instances through a directory, expands the instance set
 through the Peers API, snapshots every Pleroma instance's metadata on a
 fixed interval over the campaign window (four hours in the paper), collects
 public timelines, and finally assembles the analysis dataset.
+
+Since the batched crawl engine, every phase emits per-round domain batches
+through the API layer's batch entry points (one instance resolution and
+availability check per domain per group, fused snapshot follow-ups,
+server-side timeline streams), and crawl events flow through pluggable
+:class:`CrawlSink`\\ s — the seed-compatible :class:`CrawlResult` assembly is
+the default, while :class:`CountingCrawlSink` (via :meth:`MeasurementCampaign.run_counted`)
+observes a campaign in O(1) memory, mirroring the delivery engine's sinks.
 """
 
 from __future__ import annotations
 
+from abc import ABC
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.api.client import APIClient, APIError
+from repro.api.client import APIClient
 from repro.api.server import FediverseAPIServer
 from repro.crawler.builder import build_dataset
-from repro.crawler.crawler import InstanceCrawler, TimelineCrawler
+from repro.crawler.crawler import PEERS_PATH, InstanceCrawler, TimelineCrawler
 from repro.crawler.directory import InstanceDirectory
 from repro.crawler.snapshots import CrawlFailure, InstanceSnapshot, TimelineCollection
 from repro.datasets.store import Dataset
@@ -61,6 +71,7 @@ class CrawlResult:
     failures: list[CrawlFailure] = field(default_factory=list)
     discovered_domains: set[str] = field(default_factory=set)
     pleroma_domains: set[str] = field(default_factory=set)
+    first_seen: dict[str, float] = field(default_factory=dict)
     api_requests: int = 0
 
     @property
@@ -82,6 +93,79 @@ class CrawlResult:
         return breakdown
 
 
+def assemble_result(result: CrawlResult) -> CrawlResult:
+    """Build the analysis dataset from a finished crawl.
+
+    The single assembly point shared by :meth:`MeasurementCampaign.assemble`,
+    the seed-faithful baseline and the perf harness — every
+    :class:`CrawlResult` field the dataset depends on is threaded through
+    here exactly once.
+    """
+    result.dataset = build_dataset(
+        snapshots=result.latest_snapshots,
+        timelines=result.timelines,
+        failures=result.failures,
+        snapshot_counts=result.snapshot_counts,
+        first_seen=result.first_seen,
+        discovered_domains=result.discovered_domains,
+    )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Crawl sinks
+# --------------------------------------------------------------------- #
+class CrawlSink(ABC):
+    """Consumer of crawl events, in crawl order.
+
+    Mirrors the delivery engine's sinks: the campaign notifies every sink
+    of each metadata snapshot, recorded failure and timeline collection as
+    it happens, so observers can choose how much state to materialise —
+    the seed-compatible :class:`CrawlResult` retains everything, while
+    :class:`CountingCrawlSink` keeps aggregates only.
+    """
+
+    def on_snapshot(self, round_index: int, snapshot: InstanceSnapshot) -> None:
+        """Observe one metadata snapshot (after peer-list carry-forward)."""
+
+    def on_failure(self, failure: CrawlFailure) -> None:
+        """Observe one recorded crawl failure."""
+
+    def on_timeline(self, collection: TimelineCollection) -> None:
+        """Observe one collected timeline."""
+
+
+class CountingCrawlSink(CrawlSink):
+    """Keep aggregate campaign counters only — O(1) memory at any scale."""
+
+    def __init__(self) -> None:
+        self.snapshots = 0
+        self.failures = 0
+        self.failures_by_status: dict[int, int] = {}
+        self.timelines = 0
+        self.unreachable_timelines = 0
+        self.posts = 0
+
+    def on_snapshot(self, round_index: int, snapshot: InstanceSnapshot) -> None:
+        """Count the snapshot."""
+        self.snapshots += 1
+
+    def on_failure(self, failure: CrawlFailure) -> None:
+        """Count the failure, by status code."""
+        self.failures += 1
+        self.failures_by_status[failure.status_code] = (
+            self.failures_by_status.get(failure.status_code, 0) + 1
+        )
+
+    def on_timeline(self, collection: TimelineCollection) -> None:
+        """Count the collection and its posts."""
+        self.timelines += 1
+        if collection.reachable:
+            self.posts += collection.post_count
+        else:
+            self.unreachable_timelines += 1
+
+
 class MeasurementCampaign:
     """Run the full Section-3 measurement over a simulated fediverse."""
 
@@ -91,6 +175,7 @@ class MeasurementCampaign:
         config: CampaignConfig | None = None,
         server: FediverseAPIServer | None = None,
         directory: InstanceDirectory | None = None,
+        sinks: Sequence[CrawlSink] | None = None,
     ) -> None:
         self.registry = registry
         self.config = config or CampaignConfig()
@@ -103,6 +188,27 @@ class MeasurementCampaign:
         self.timeline_crawler = TimelineCrawler(
             self.client, page_size=self.config.timeline_page_size
         )
+        self.sinks: list[CrawlSink] = list(sinks or [])
+        self.instance_crawler.on_failure = self._emit_failure
+
+    def add_sink(self, sink: CrawlSink) -> None:
+        """Attach another sink to the campaign."""
+        self.sinks.append(sink)
+
+    # ------------------------------------------------------------------ #
+    # Sink notification
+    # ------------------------------------------------------------------ #
+    def _emit_snapshot(self, round_index: int, snapshot: InstanceSnapshot) -> None:
+        for sink in self.sinks:
+            sink.on_snapshot(round_index, snapshot)
+
+    def _emit_failure(self, failure: CrawlFailure) -> None:
+        for sink in self.sinks:
+            sink.on_failure(failure)
+
+    def _emit_timeline(self, collection: TimelineCollection) -> None:
+        for sink in self.sinks:
+            sink.on_timeline(collection)
 
     # ------------------------------------------------------------------ #
     # Campaign phases
@@ -114,47 +220,77 @@ class MeasurementCampaign:
         """
         pleroma_domains = set(self.directory.pleroma_instances())
         all_domains: set[str] = set(pleroma_domains)
+        client = self.client
         for domain in sorted(pleroma_domains):
-            try:
-                peers = self.client.instance_peers(domain)
-            except APIError:
-                continue
-            all_domains.update(peers)
+            response = client.get_many(domain, (PEERS_PATH,))[0]
+            if response.ok:
+                all_domains.update(response.body)
         return pleroma_domains, all_domains
 
     def snapshot_round(
         self, pleroma_domains: set[str], now: float, fetch_peers: bool
     ) -> dict[str, InstanceSnapshot]:
-        """Phase 2 (one round): snapshot every Pleroma instance's metadata."""
-        snapshots: dict[str, InstanceSnapshot] = {}
-        for domain in sorted(pleroma_domains):
-            snapshot = self.instance_crawler.snapshot(domain, now, fetch_peers=fetch_peers)
-            if snapshot is not None:
-                snapshots[domain] = snapshot
-        return snapshots
+        """Phase 2 (one round): snapshot every Pleroma instance's metadata.
+
+        The whole round is emitted as per-domain batches through the crawl
+        engine — one request group per instance.
+        """
+        return self.instance_crawler.snapshot_many(
+            sorted(pleroma_domains), now, fetch_peers=fetch_peers
+        )
 
     def collect_timelines(
         self, domains: set[str], now: float
     ) -> list[TimelineCollection]:
         """Phase 3: collect public posts from every reachable instance."""
-        collections = []
-        for domain in sorted(domains):
-            collections.append(
-                self.timeline_crawler.collect(
-                    domain,
-                    now,
-                    local_only=True,
-                    max_posts=self.config.max_posts_per_instance,
-                )
+        return list(
+            self.timeline_crawler.collect_many(
+                sorted(domains),
+                now,
+                local_only=True,
+                max_posts=self.config.max_posts_per_instance,
             )
-        return collections
+        )
 
     # ------------------------------------------------------------------ #
-    # Entry point
+    # Entry points
     # ------------------------------------------------------------------ #
+    def crawl(self) -> CrawlResult:
+        """Run discovery, the snapshot rounds and timeline collection.
+
+        The returned result's dataset is left empty; :meth:`assemble`
+        builds it (and :meth:`run` does both — dataset assembly is kept
+        separate so the perf harness can time the crawl itself against the
+        seed loop without the shared dataset-building cost).
+        """
+        return self._crawl_phases(retain_timelines=True)
+
+    def assemble(self, result: CrawlResult) -> CrawlResult:
+        """Build the analysis dataset from a finished crawl."""
+        return assemble_result(result)
+
     def run(self) -> CrawlResult:
         """Run discovery, the snapshot rounds, timeline collection and build
         the dataset."""
+        return self.assemble(self.crawl())
+
+    def run_counted(self) -> CountingCrawlSink:
+        """Run the campaign keeping aggregate counters only.
+
+        The crawl-side analogue of the delivery engine's counting mode:
+        every timeline collection is dropped as soon as the sinks have
+        seen it and no dataset is assembled, so the campaign's memory
+        footprint stays flat regardless of how many posts it crawls.
+        """
+        sink = CountingCrawlSink()
+        self.sinks.append(sink)
+        try:
+            self._crawl_phases(retain_timelines=False)
+        finally:
+            self.sinks.remove(sink)
+        return sink
+
+    def _crawl_phases(self, retain_timelines: bool) -> CrawlResult:
         clock = self.registry.clock
         result = CrawlResult(dataset=Dataset())
 
@@ -162,8 +298,9 @@ class MeasurementCampaign:
         result.pleroma_domains = pleroma_domains
         result.discovered_domains = all_domains
 
-        first_seen: dict[str, float] = {}
+        first_seen = result.first_seen
         interval = self.config.snapshot_interval_hours * 3600.0
+        keep_all = self.config.keep_all_snapshots
         for round_index in range(self.config.snapshot_rounds):
             now = clock.now()
             # Peer lists are large and barely change; fetching them on the
@@ -177,20 +314,23 @@ class MeasurementCampaign:
                     snapshot.peers = previous.peers
                 result.latest_snapshots[domain] = snapshot
                 result.snapshot_counts[domain] = result.snapshot_counts.get(domain, 0) + 1
-                if self.config.keep_all_snapshots:
+                if keep_all:
                     result.all_snapshots.append(snapshot)
+                if self.sinks:
+                    self._emit_snapshot(round_index, snapshot)
             clock.advance(interval)
 
-        result.timelines = self.collect_timelines(set(result.latest_snapshots), clock.now())
+        collections = self.timeline_crawler.collect_many(
+            sorted(result.latest_snapshots),
+            clock.now(),
+            local_only=True,
+            max_posts=self.config.max_posts_per_instance,
+        )
+        for collection in collections:
+            if retain_timelines:
+                result.timelines.append(collection)
+            if self.sinks:
+                self._emit_timeline(collection)
         result.failures = list(self.instance_crawler.failures)
         result.api_requests = self.client.stats.requests
-
-        result.dataset = build_dataset(
-            snapshots=result.latest_snapshots,
-            timelines=result.timelines,
-            failures=result.failures,
-            snapshot_counts=result.snapshot_counts,
-            first_seen=first_seen,
-            discovered_domains=result.discovered_domains,
-        )
         return result

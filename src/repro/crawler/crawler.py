@@ -5,14 +5,30 @@ every four hours); :class:`TimelineCrawler` pages through the public
 Timeline API to collect posts.  Both work purely through
 :class:`~repro.api.client.APIClient` and record failures rather than raising,
 because the campaign must keep going when individual instances are down.
+
+Both crawlers also expose batched entry points — :meth:`InstanceCrawler.snapshot_many`
+and :meth:`TimelineCrawler.collect_many` — that route through the API
+layer's batch engine (:meth:`~repro.api.client.APIClient.get_many` /
+:meth:`~repro.api.client.APIClient.stream_timeline`).  The batched paths
+produce bit-identical snapshots, collections, failures and request
+accounting; they only eliminate per-request transport overhead and reuse
+parsed metadata across snapshot rounds (validated by payload identity, so a
+changed payload is always re-parsed).
 """
 
 from __future__ import annotations
 
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.api.client import APIClient, APIError
+from repro.api.http import HTTPResponse
 from repro.crawler.snapshots import CrawlFailure, InstanceSnapshot, TimelineCollection
+
+#: The three endpoints the paper's crawler fetches per instance.
+INSTANCE_PATH = "/api/v1/instance"
+PEERS_PATH = "/api/v1/instance/peers"
+NODEINFO_PATH = "/nodeinfo/2.0"
 
 
 def _parse_software(payload: dict[str, Any]) -> str:
@@ -40,19 +56,58 @@ def _parse_pleroma_version(payload: dict[str, Any]) -> str:
     return ""
 
 
+def _error_message(response: HTTPResponse) -> str:
+    """Extract the error message of a failed response (as APIError does)."""
+    if isinstance(response.body, dict):
+        return str(response.body.get("error", ""))
+    return ""
+
+
+@dataclass
+class _SnapshotTemplate:
+    """Metadata parsed once per distinct payload, reused across rounds.
+
+    ``payload`` is the exact object the parse ran on: the batch server
+    returns the *same* cached dict while the instance's metadata
+    fingerprint is unchanged, so an ``is`` check is a sound (and free)
+    validity test — any rebuilt payload triggers a fresh parse.
+
+    ``proto`` is a prototype ``__dict__`` for :class:`InstanceSnapshot`;
+    each round copies it and stamps the timestamp, which skips re-parsing
+    the payload and the dataclass ``__init__`` walk.  The MRF dicts inside
+    it are shared across that domain's snapshots (like the delivery
+    engine shares rewritten post copies across receivers) — snapshot
+    consumers treat them as read-only, and the dataset builder copies
+    what it stores.
+    """
+
+    payload: dict[str, Any]
+    proto: dict[str, Any]
+    needs_nodeinfo: bool
+
+
 class InstanceCrawler:
     """Snapshot instance metadata and peer lists through the public API."""
 
     def __init__(self, client: APIClient) -> None:
         self.client = client
         self.failures: list[CrawlFailure] = []
+        #: Optional observer notified of every recorded failure (the
+        #: campaign uses this to fan failures out to its crawl sinks).
+        self.on_failure: Callable[[CrawlFailure], None] | None = None
+        self._templates: dict[str, _SnapshotTemplate] = {}
+
+    def _record_failure(self, failure: CrawlFailure) -> None:
+        self.failures.append(failure)
+        if self.on_failure is not None:
+            self.on_failure(failure)
 
     def snapshot(self, domain: str, now: float, fetch_peers: bool = True) -> InstanceSnapshot | None:
         """Snapshot one instance; return ``None`` (and record) on failure."""
         try:
             payload = self.client.instance_metadata(domain)
         except APIError as error:
-            self.failures.append(
+            self._record_failure(
                 CrawlFailure(
                     domain=domain,
                     timestamp=now,
@@ -68,7 +123,7 @@ class InstanceCrawler:
             # Mastodon-style instances expose their software name only
             # through nodeinfo, which is how the paper's crawler classified
             # non-Pleroma servers.
-            software = self._software_from_nodeinfo(domain)
+            software = self._software_from_nodeinfo(domain, now)
         snapshot = InstanceSnapshot(
             domain=domain,
             timestamp=now,
@@ -84,12 +139,163 @@ class InstanceCrawler:
             snapshot.peers = self._fetch_peers(domain, now)
         return snapshot
 
-    def _software_from_nodeinfo(self, domain: str) -> str:
-        """Resolve the server software through nodeinfo, defaulting to unknown."""
+    # ------------------------------------------------------------------ #
+    # Batched snapshots
+    # ------------------------------------------------------------------ #
+    def snapshot_many(
+        self, domains: Iterable[str], now: float, fetch_peers: bool = True
+    ) -> dict[str, InstanceSnapshot]:
+        """Snapshot many instances through the API layer's batch engine.
+
+        The whole round's metadata requests are served in one batch call;
+        the conditional follow-ups (nodeinfo for unclassifiable software,
+        peers on the first round) ride in one fused group per snapshot.
+        Snapshots, recorded failures (contents *and* order) and request
+        accounting are identical to calling :meth:`snapshot` once per
+        domain in the given order.
+        """
+        domains = list(domains)
+        client = self.client
+        responses = client.metadata_many(domains)
+        snapshots: dict[str, InstanceSnapshot] = {}
+        templates = self._templates
+        for domain, response in zip(domains, responses):
+            if not response.ok:
+                self._record_failure(
+                    CrawlFailure(
+                        domain=domain,
+                        timestamp=now,
+                        status_code=int(response.status),
+                        reason=_error_message(response),
+                    )
+                )
+                continue
+            payload = response.body
+            template = templates.get(domain)
+            if template is None or template.payload is not payload:
+                template = self._parse_template(payload)
+                templates[domain] = template
+
+            nodeinfo_response: HTTPResponse | None = None
+            peers_response: HTTPResponse | None = None
+            if template.needs_nodeinfo or fetch_peers:
+                follow_paths = []
+                if template.needs_nodeinfo:
+                    follow_paths.append(NODEINFO_PATH)
+                if fetch_peers:
+                    follow_paths.append(PEERS_PATH)
+                follow = client.get_many(domain, follow_paths)
+                if template.needs_nodeinfo:
+                    nodeinfo_response = follow[0]
+                if fetch_peers:
+                    peers_response = follow[-1]
+
+            fields = template.proto.copy()
+            # The snapshot carries the domain as requested (not the payload's
+            # self-reported uri), exactly like the per-request path.
+            fields["domain"] = domain
+            fields["timestamp"] = now
+            if nodeinfo_response is not None:
+                fields["software"] = self._software_from_nodeinfo_response(
+                    domain, now, nodeinfo_response
+                )
+            snapshot = object.__new__(InstanceSnapshot)
+            snapshot.__dict__ = fields
+            if peers_response is not None:
+                if peers_response.ok:
+                    snapshot.peers = tuple(peers_response.body)
+                else:
+                    self._record_failure(
+                        CrawlFailure(
+                            domain=domain,
+                            timestamp=now,
+                            status_code=int(peers_response.status),
+                            reason=f"peers: {_error_message(peers_response)}",
+                        )
+                    )
+            snapshots[domain] = snapshot
+        return snapshots
+
+    @staticmethod
+    def _parse_template(payload: dict[str, Any]) -> _SnapshotTemplate:
+        stats = payload.get("stats", {})
+        software = _parse_software(payload)
+        federation = (
+            payload.get("pleroma", {}).get("metadata", {}).get("federation", {})
+        )
+        exposed = bool(federation) and bool(federation.get("exposable", False))
+        proto = {
+            "domain": str(payload.get("uri", "")),
+            "timestamp": 0.0,
+            "software": software,
+            "version": _parse_pleroma_version(payload),
+            "user_count": int(stats.get("user_count", 0)),
+            "status_count": int(stats.get("status_count", 0)),
+            "peer_count": int(stats.get("domain_count", 0)),
+            "registrations_open": bool(payload.get("registrations", False)),
+            "policies_exposed": exposed,
+            "enabled_policies": (
+                tuple(federation.get("mrf_policies", ())) if exposed else ()
+            ),
+            "mrf_simple": (
+                {
+                    action: list(targets)
+                    for action, targets in federation.get("mrf_simple", {}).items()
+                }
+                if exposed
+                else {}
+            ),
+            "mrf_object_age": (
+                dict(federation.get("mrf_object_age", {})) if exposed else {}
+            ),
+            "peers": (),
+        }
+        return _SnapshotTemplate(
+            payload=payload,
+            proto=proto,
+            needs_nodeinfo=software == "unknown",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shared parsing helpers
+    # ------------------------------------------------------------------ #
+    def _software_from_nodeinfo(self, domain: str, now: float) -> str:
+        """Resolve the server software through nodeinfo.
+
+        A failed nodeinfo probe is recorded as a :class:`CrawlFailure`
+        (reason-prefixed ``nodeinfo:``) — a real crawler logs the probe it
+        could not complete rather than silently classifying the instance as
+        unknown software.
+        """
         try:
             payload = self.client.nodeinfo(domain)
-        except APIError:
+        except APIError as error:
+            self._record_failure(
+                CrawlFailure(
+                    domain=domain,
+                    timestamp=now,
+                    status_code=int(error.status),
+                    reason=f"nodeinfo: {error.message}",
+                )
+            )
             return "unknown"
+        return str(payload.get("software", {}).get("name", "unknown")) or "unknown"
+
+    def _software_from_nodeinfo_response(
+        self, domain: str, now: float, response: HTTPResponse
+    ) -> str:
+        """Batched twin of :meth:`_software_from_nodeinfo`."""
+        if not response.ok:
+            self._record_failure(
+                CrawlFailure(
+                    domain=domain,
+                    timestamp=now,
+                    status_code=int(response.status),
+                    reason=f"nodeinfo: {_error_message(response)}",
+                )
+            )
+            return "unknown"
+        payload = response.body
         return str(payload.get("software", {}).get("name", "unknown")) or "unknown"
 
     def _attach_mrf(self, snapshot: InstanceSnapshot, payload: dict[str, Any]) -> None:
@@ -113,7 +319,7 @@ class InstanceCrawler:
         try:
             return tuple(self.client.instance_peers(domain))
         except APIError as error:
-            self.failures.append(
+            self._record_failure(
                 CrawlFailure(
                     domain=domain,
                     timestamp=now,
@@ -163,3 +369,51 @@ class TimelineCrawler:
             if len(page) < self.page_size:
                 break
         return collection
+
+    # ------------------------------------------------------------------ #
+    # Batched collection
+    # ------------------------------------------------------------------ #
+    def collect_batched(
+        self,
+        domain: str,
+        now: float,
+        local_only: bool = True,
+        max_posts: int | None = None,
+    ) -> TimelineCollection:
+        """Collect one instance's timeline as a single server-side stream.
+
+        The resulting collection — posts, page count, reachability and
+        status code — and the per-page request accounting are identical to
+        :meth:`collect`.
+        """
+        stream = self.client.stream_timeline(
+            domain,
+            local=local_only,
+            page_size=self.page_size,
+            max_posts=max_posts,
+        )
+        collection = TimelineCollection(domain=domain, timestamp=now)
+        if not stream.ok:
+            collection.reachable = False
+            collection.status_code = int(stream.status)
+            return collection
+        collection.pages_fetched = stream.pages
+        collection.posts = stream.statuses
+        return collection
+
+    def collect_many(
+        self,
+        domains: Iterable[str],
+        now: float,
+        local_only: bool = True,
+        max_posts: int | None = None,
+    ) -> Iterator[TimelineCollection]:
+        """Collect many instances' timelines, lazily, one stream each.
+
+        Laziness lets counting-only campaign runs drop each collection as
+        soon as its sinks have seen it.
+        """
+        for domain in domains:
+            yield self.collect_batched(
+                domain, now, local_only=local_only, max_posts=max_posts
+            )

@@ -84,6 +84,7 @@ class Instance:
         availability: InstanceAvailability | None = None,
         expose_policies: bool = True,
         expose_public_timeline: bool = True,
+        expose_nodeinfo: bool = True,
         install_default_policies: bool = True,
     ) -> None:
         self.domain = normalise_domain(domain)
@@ -99,6 +100,9 @@ class Instance:
         # unreachable; this flag models instances that serve metadata but
         # refuse timeline requests.
         self.expose_public_timeline = expose_public_timeline
+        # Some instances answer the Mastodon API but never publish nodeinfo;
+        # crawlers then cannot classify their software.
+        self.expose_nodeinfo = expose_nodeinfo
 
         self.users: dict[str, User] = {}
         self.posts: dict[str, Post] = {}
@@ -322,6 +326,27 @@ class Instance:
                 }
             }
         return payload
+
+    def metadata_fingerprint(self) -> tuple:
+        """Return a cheap fingerprint of everything :meth:`to_api_dict` reads.
+
+        The API server's batch engine serves a cached metadata payload as
+        long as this fingerprint is unchanged, so it covers every mutable
+        input of the payload: the descriptive fields, the usage counters and
+        the MRF configuration (via the pipeline's own fingerprint).
+        """
+        return (
+            self.title,
+            self.description,
+            self.version,
+            self.registrations_open,
+            self.expose_policies,
+            len(self.users),
+            len(self.posts),
+            len(self.remote_posts),
+            len(self.peers),
+            self.mrf.config_fingerprint(),
+        )
 
     def version_string(self) -> str:
         """Return the version string reported through the API."""

@@ -14,6 +14,11 @@ _MENTION_RE = re.compile(r"(?<!\w)@([A-Za-z0-9_.\-]+@[A-Za-z0-9_.\-]+)")
 _URL_RE = re.compile(r"https?://[^\s]+")
 
 
+def mentions_in(content: str) -> list[str]:
+    """Return the handles mentioned in ``content`` (list form, for serialisers)."""
+    return _MENTION_RE.findall(content)
+
+
 class Visibility(str, Enum):
     """Post visibility levels used across the fediverse."""
 
@@ -74,7 +79,7 @@ class Post:
     @property
     def mentions(self) -> tuple[str, ...]:
         """Return the handles mentioned in the post content."""
-        return tuple(_MENTION_RE.findall(self.content))
+        return tuple(mentions_in(self.content))
 
     @property
     def mention_count(self) -> int:

@@ -57,6 +57,19 @@ class FediverseRegistry:
         except KeyError:
             raise UnknownInstanceError(domain) from None
 
+    def get_normalised(self, domain: str) -> Instance:
+        """:meth:`get` for domains known to be normalised already.
+
+        The API server's batch paths resolve one domain per request group
+        with domains that came out of instance records or directory
+        listings, so the generic path's re-normalisation is skipped —
+        mirroring :meth:`federate_normalised`.
+        """
+        try:
+            return self._instances[domain]
+        except KeyError:
+            raise UnknownInstanceError(domain) from None
+
     def __contains__(self, domain: str) -> bool:
         return normalise_domain(domain) in self._instances
 

@@ -190,6 +190,10 @@ class MRFPipeline:
         self._policies: list[MRFPolicy] = []
         self._by_name: dict[str, MRFPolicy] = {}
         self._compiled: CompiledPipeline | None = None
+        #: Bumped on every membership change (and explicit invalidation) so
+        #: :meth:`config_fingerprint` can't mistake a replacement policy
+        #: for the object it replaced.
+        self._config_epoch = 0
         self.events: list[ModerationEvent] = []
 
     # ------------------------------------------------------------------ #
@@ -212,6 +216,7 @@ class MRFPipeline:
         self._policies.append(policy)
         self._by_name[policy.name] = policy
         self._compiled = None
+        self._config_epoch += 1
 
     def remove_policy(self, name: str) -> bool:
         """Disable the policy called ``name``; return ``True`` if it existed."""
@@ -220,6 +225,7 @@ class MRFPipeline:
             return False
         self._policies.remove(policy)
         self._compiled = None
+        self._config_epoch += 1
         return True
 
     def has_policy(self, name: str) -> bool:
@@ -248,8 +254,29 @@ class MRFPipeline:
 
     def invalidate_compiled(self) -> None:
         """Force a recompile (needed after mutating a policy in place
-        without going through a version-bumping configuration method)."""
+        without going through a version-bumping configuration method).
+        Also invalidates cached metadata payloads derived from
+        :meth:`config_fingerprint`."""
         self._compiled = None
+        self._config_epoch += 1
+
+    def config_fingerprint(self) -> tuple:
+        """Return a cheap fingerprint of the exposed MRF configuration.
+
+        The API server's batch engine caches each instance's metadata
+        payload against this fingerprint, so it must change whenever the
+        payload's ``federation`` block could: a policy is added or removed
+        (or the pipeline is explicitly invalidated) — tracked by the
+        pipeline's membership epoch — or an enabled policy bumps its
+        :attr:`~repro.mrf.base.MRFPolicy.config_version` through a mutating
+        configuration method.  Like the compiled fast-path table, in-place
+        mutations that bypass the version-bumping mutators are not
+        detected (call :meth:`invalidate_compiled` after such a mutation).
+        """
+        return (
+            self._config_epoch,
+            tuple(policy.config_version for policy in self._policies),
+        )
 
     # ------------------------------------------------------------------ #
     # Filtering

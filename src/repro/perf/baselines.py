@@ -13,8 +13,13 @@ from typing import Callable, Iterable
 
 from repro.activitypub.activities import Activity
 from repro.activitypub.delivery import FederationStats, apply_accepted
+from repro.api.client import APIClient, APIError
+from repro.api.server import FediverseAPIServer
 from repro.core.collateral import InstanceCollateral
 from repro.core.harmfulness import UserLabel
+from repro.crawler.campaign import CampaignConfig, CrawlResult, assemble_result
+from repro.crawler.crawler import InstanceCrawler, TimelineCrawler
+from repro.crawler.directory import InstanceDirectory
 from repro.datasets.schema import RejectEdge
 from repro.datasets.store import Dataset
 from repro.fediverse.errors import FederationError
@@ -282,6 +287,96 @@ def naive_federate(
         for activity in batch.activities:
             naive_deliver(registry, activity, batch.target_domain, stats, reports)
     return stats, reports
+
+
+# ---------------------------------------------------------------------- #
+# Seed-faithful measurement campaign
+# ---------------------------------------------------------------------- #
+def naive_crawl_phases(
+    registry: FediverseRegistry,
+    config: CampaignConfig,
+    directory: InstanceDirectory | None = None,
+    client: APIClient | None = None,
+) -> CrawlResult:
+    """The seed's ``MeasurementCampaign`` crawl loop, kept verbatim.
+
+    One ``APIClient.get`` per endpoint per instance per round, through the
+    server's stateless per-request ``handle`` path: per-pattern route
+    regexes, a fresh ``/api/v1/instance`` payload built and re-parsed every
+    round, and one ``ids.index(max_id)`` scan per timeline page.  The batch
+    engine must be indistinguishable from this loop in every
+    :class:`CrawlResult` field (the dataset is built separately by
+    :func:`naive_crawl`, mirroring ``MeasurementCampaign.crawl``/``assemble``).
+
+    ``client``/``directory`` can be passed pre-built so timed comparisons
+    construct both paths' transport outside the stopwatch, exactly as
+    ``MeasurementCampaign.__init__`` does for the engine.
+    """
+    if client is None:
+        client = APIClient(FediverseAPIServer(registry))
+    if directory is None:
+        directory = InstanceDirectory(registry, coverage=config.directory_coverage)
+    instance_crawler = InstanceCrawler(client)
+    timeline_crawler = TimelineCrawler(client, page_size=config.timeline_page_size)
+    clock = registry.clock
+    result = CrawlResult(dataset=Dataset())
+
+    # Phase 1: discovery (directory + one peers request per listed domain).
+    pleroma_domains = set(directory.pleroma_instances())
+    all_domains: set[str] = set(pleroma_domains)
+    for domain in sorted(pleroma_domains):
+        try:
+            peers = client.instance_peers(domain)
+        except APIError:
+            continue
+        all_domains.update(peers)
+    result.pleroma_domains = pleroma_domains
+    result.discovered_domains = all_domains
+
+    # Phase 2: snapshot rounds, one ``snapshot`` call per domain per round.
+    interval = config.snapshot_interval_hours * 3600.0
+    for round_index in range(config.snapshot_rounds):
+        now = clock.now()
+        fetch_peers = round_index == 0
+        snapshots: dict[str, object] = {}
+        for domain in sorted(pleroma_domains):
+            snapshot = instance_crawler.snapshot(domain, now, fetch_peers=fetch_peers)
+            if snapshot is not None:
+                snapshots[domain] = snapshot
+        for domain, snapshot in snapshots.items():
+            result.first_seen.setdefault(domain, now)
+            previous = result.latest_snapshots.get(domain)
+            if previous is not None and not snapshot.peers:
+                snapshot.peers = previous.peers
+            result.latest_snapshots[domain] = snapshot
+            result.snapshot_counts[domain] = result.snapshot_counts.get(domain, 0) + 1
+            if config.keep_all_snapshots:
+                result.all_snapshots.append(snapshot)
+        clock.advance(interval)
+
+    # Phase 3: timeline collection, one page request at a time.
+    now = clock.now()
+    for domain in sorted(set(result.latest_snapshots)):
+        result.timelines.append(
+            timeline_crawler.collect(
+                domain,
+                now,
+                local_only=True,
+                max_posts=config.max_posts_per_instance,
+            )
+        )
+    result.failures = list(instance_crawler.failures)
+    result.api_requests = client.stats.requests
+    return result
+
+
+def naive_crawl(
+    registry: FediverseRegistry,
+    config: CampaignConfig,
+    directory: InstanceDirectory | None = None,
+) -> CrawlResult:
+    """Run the seed crawl loop and assemble the dataset (the full seed run)."""
+    return assemble_result(naive_crawl_phases(registry, config, directory=directory))
 
 
 def naive_threshold_sweep(

@@ -17,6 +17,15 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.activitypub.delivery import FederationDelivery, FederationStats
+from repro.api.client import APIClient
+from repro.api.server import FediverseAPIServer
+from repro.crawler.campaign import (
+    CampaignConfig,
+    CrawlResult,
+    MeasurementCampaign,
+    assemble_result,
+)
+from repro.crawler.directory import InstanceDirectory
 from repro.datasets.schema import RejectEdge
 from repro.datasets.store import Dataset
 from repro.experiments.pipeline import ReproPipeline
@@ -374,6 +383,151 @@ def bench_delivery(scenario: str, seed: int = 42, repeats: int = 2) -> dict[str,
     }
 
 
+def _crawl_state(result: CrawlResult) -> dict[str, Any]:
+    """Snapshot everything a crawl produces, for equivalence checks.
+
+    Every :class:`CrawlResult` field is covered — snapshots, per-domain
+    snapshot counts, timeline collections (including the raw post dicts),
+    the failure list (contents *and* order), the discovered/Pleroma domain
+    sets, request accounting, the failure-status breakdown — plus the full
+    assembled dataset.
+    """
+    dataset = result.dataset
+    return {
+        "latest_snapshots": result.latest_snapshots,
+        "snapshot_counts": result.snapshot_counts,
+        "all_snapshots": result.all_snapshots,
+        "timelines": result.timelines,
+        "failures": result.failures,
+        "discovered_domains": result.discovered_domains,
+        "pleroma_domains": result.pleroma_domains,
+        "first_seen": result.first_seen,
+        "api_requests": result.api_requests,
+        "failure_status_breakdown": result.failure_status_breakdown,
+        "dataset": {
+            "instances": dataset.instances,
+            "users": dataset.users,
+            "posts": dataset.posts,
+            "policy_settings": dataset.policy_settings,
+            "reject_edges": dataset.reject_edges,
+        },
+    }
+
+
+def _run_crawl_pair(
+    config, campaign_config: CampaignConfig, repeats: int
+) -> tuple[float, dict, float, dict, CrawlResult]:
+    """Time the batched engine against the seed loop on twin fediverses.
+
+    Each path regenerates its own (bit-identical) fediverse per repeat —
+    the crawl advances the simulation clock, so a registry cannot be
+    crawled twice.  Generation and dataset assembly are shared work both
+    paths pay identically and stay outside the timed region; the full
+    :class:`CrawlResult` (dataset included) is snapshotted for the
+    equivalence gate.
+    """
+    engine_s = float("inf")
+    engine_state = None
+    engine_result = None
+    for _ in range(repeats):
+        registry = FediverseGenerator(config).generate().registry
+        campaign = MeasurementCampaign(registry, campaign_config)
+        start = time.perf_counter()
+        result = campaign.crawl()
+        engine_s = min(engine_s, time.perf_counter() - start)
+        if engine_state is None:
+            campaign.assemble(result)
+            engine_state = _crawl_state(result)
+            engine_result = result
+
+    naive_s = float("inf")
+    naive_state = None
+    for _ in range(repeats):
+        registry = FediverseGenerator(config).generate().registry
+        # Build the transport outside the stopwatch, exactly as the engine's
+        # MeasurementCampaign.__init__ does before its timed crawl().
+        client = APIClient(FediverseAPIServer(registry))
+        directory = InstanceDirectory(
+            registry, coverage=campaign_config.directory_coverage
+        )
+        start = time.perf_counter()
+        result = baselines.naive_crawl_phases(
+            registry, campaign_config, directory=directory, client=client
+        )
+        naive_s = min(naive_s, time.perf_counter() - start)
+        if naive_state is None:
+            naive_state = _crawl_state(assemble_result(result))
+
+    return engine_s, engine_state, naive_s, naive_state, engine_result
+
+
+def bench_crawl(scenario: str, seed: int = 42, repeats: int = 2) -> dict[str, float]:
+    """Time the measurement campaign: batched crawl engine vs seed loop.
+
+    The crawl runs over the scenario's *own* campaign window (the paper's
+    regime: months of 4-hourly metadata rounds — this is the workload the
+    batch engine exists for), unlike the analysis-side benches that crawl
+    2 days to build a dataset.  The engine and the seed's
+    one-``get``-per-endpoint loop must produce bit-identical
+    :class:`CrawlResult`\\ s; a second, separately generated ``churn``
+    population re-asserts the same equivalence under mid-campaign
+    availability flips.
+    """
+    config = scenario_config(scenario, seed=seed)
+    campaign_config = CampaignConfig(
+        duration_days=config.campaign_days,
+        snapshot_interval_hours=config.snapshot_interval_hours,
+    )
+    repeats = max(1, repeats)
+    engine_s, engine_state, naive_s, naive_state, result = _run_crawl_pair(
+        config, campaign_config, repeats
+    )
+    _require_equal(
+        engine_state,
+        naive_state,
+        "batched crawl engine diverged from the seed crawl loop",
+    )
+
+    # Churn gate: instances dropping out mid-campaign must not break
+    # equivalence (snapshot counts, failure ordering, the breakdown).
+    churn_config = scenario_config("churn", seed=seed, n_pleroma_instances=120)
+    churn_campaign_config = CampaignConfig(
+        duration_days=churn_config.churn_window_days,
+        snapshot_interval_hours=churn_config.snapshot_interval_hours,
+        keep_all_snapshots=True,
+    )
+    _, churn_engine, _, churn_naive, churn_result = _run_crawl_pair(
+        churn_config, churn_campaign_config, repeats=1
+    )
+    _require_equal(
+        churn_engine,
+        churn_naive,
+        "batched crawl engine diverged from the seed loop under churn",
+    )
+    churn_flipped = len(
+        {failure.domain for failure in churn_result.failures}
+        & set(churn_result.latest_snapshots)
+    )
+
+    posts = sum(
+        collection.post_count for collection in result.timelines if collection.reachable
+    )
+    return {
+        "domains": float(len(result.pleroma_domains)),
+        "rounds": float(campaign_config.snapshot_rounds),
+        "api_requests": float(result.api_requests),
+        "snapshots": float(sum(result.snapshot_counts.values())),
+        "posts_collected": float(posts),
+        "engine_seconds": engine_s,
+        "naive_seconds": naive_s,
+        "speedup": naive_s / engine_s if engine_s else float("inf"),
+        "requests_per_second": (
+            result.api_requests / engine_s if engine_s else float("inf")
+        ),
+        "churn_flipped_domains": float(churn_flipped),
+    }
+
+
 # ---------------------------------------------------------------------- #
 # Scenario runs
 # ---------------------------------------------------------------------- #
@@ -406,11 +560,12 @@ def run_scenario(
         repeats=repeats,
     )
     report.metrics["threshold_sweep"] = bench_sweep(pipeline, repeats=max(repeats, 5))
-    # Generation/delivery regenerates the fediverse per repeat; cap repeats
-    # so the harness stays tractable at the large scales.
+    # Generation/delivery/crawl regenerate the fediverse per repeat; cap
+    # repeats so the harness stays tractable at the large scales.
     report.metrics["delivery"] = bench_delivery(
         scenario, seed=seed, repeats=min(repeats, 2)
     )
+    report.metrics["crawl"] = bench_crawl(scenario, seed=seed, repeats=min(repeats, 2))
     return report
 
 

@@ -163,3 +163,117 @@ class TestServerEndpoints:
         assert client.stats.requests == 2
         assert client.stats.failed == 1
         assert client.stats.by_status[503] == 1
+        assert client.stats.by_domain == {"alpha.example": 1, "masto.example": 1}
+
+
+#: Every endpoint the crawler touches, with known-good and failing targets.
+ACCOUNTING_PROBES = [
+    ("alpha.example", "/api/v1/instance"),
+    ("alpha.example", "/api/v1/instance/peers"),
+    ("alpha.example", "/nodeinfo/2.0"),
+    ("alpha.example", "/api/v1/timelines/public?local=true&limit=5"),
+    ("masto.example", "/api/v1/instance"),
+    ("masto.example", "/api/v1/timelines/public?local=true&limit=5"),
+    ("ghost.example", "/api/v1/instance"),  # unknown -> 404
+    ("ghost.example", "/nodeinfo/2.0"),
+]
+
+
+def _stats_tuple(client: APIClient):
+    stats = client.stats
+    return (stats.requests, stats.ok, stats.failed, stats.by_status, stats.by_domain)
+
+
+class TestBatchedAccounting:
+    """``get`` and ``get_many`` must agree on every counter, per endpoint."""
+
+    def _fresh_client(self) -> APIClient:
+        registry = FediverseRegistry()
+        instance = registry.create_instance("alpha.example", install_default_policies=False)
+        instance.register_user("alice")
+        for index in range(12):
+            instance.publish("alice", f"post {index}", created_at=float(index))
+        instance.add_peer("beta.example")
+        registry.create_instance(
+            "masto.example", software=SoftwareKind.MASTODON, install_default_policies=False
+        )
+        registry.create_instance("down.example", install_default_policies=False)
+        registry.set_availability("down.example", 502, "bad gateway")
+        return APIClient(FediverseAPIServer(registry))
+
+    def test_get_many_counts_match_sequential_gets(self):
+        sequential = self._fresh_client()
+        for domain, path in ACCOUNTING_PROBES:
+            sequential.get(domain, path)
+
+        batched = self._fresh_client()
+        by_domain: dict[str, list[str]] = {}
+        for domain, path in ACCOUNTING_PROBES:
+            by_domain.setdefault(domain, []).append(path)
+        for domain, paths in by_domain.items():
+            batched.get_many(domain, paths)
+
+        assert _stats_tuple(batched) == _stats_tuple(sequential)
+
+    def test_get_many_responses_match_get(self):
+        sequential = self._fresh_client()
+        batched = self._fresh_client()
+        for domain, path in ACCOUNTING_PROBES:
+            single = sequential.get(domain, path)
+            grouped = batched.get_many(domain, [path])[0]
+            assert single.status is grouped.status
+            assert single.body == grouped.body
+
+    def test_error_statuses_recorded_identically(self):
+        """APIError statuses (403/404/502) land in by_status the same way."""
+        sequential = self._fresh_client()
+        sequential.get("down.example", "/api/v1/instance")
+        sequential.get("ghost.example", "/api/v1/instance")
+        with pytest.raises(APIError):
+            sequential.get_json("down.example", "/api/v1/instance/peers")
+
+        batched = self._fresh_client()
+        batched.get_many("down.example", ["/api/v1/instance", "/api/v1/instance/peers"])
+        batched.get_many("ghost.example", ["/api/v1/instance"])
+
+        assert _stats_tuple(batched) == _stats_tuple(sequential)
+        assert batched.stats.by_status[502] == 2
+        assert batched.stats.by_status[404] == 1
+
+    def test_metadata_many_counts_like_sequential_metadata(self):
+        domains = ["alpha.example", "down.example", "ghost.example", "masto.example"]
+        sequential = self._fresh_client()
+        for domain in domains:
+            sequential.get(domain, "/api/v1/instance")
+        batched = self._fresh_client()
+        responses = batched.metadata_many(domains)
+        assert _stats_tuple(batched) == _stats_tuple(sequential)
+        assert [int(response.status) for response in responses] == [200, 502, 404, 200]
+
+    def test_stream_timeline_counts_per_page(self):
+        # 12 posts at page size 5 -> pages of 5, 5, 2 (short page stops).
+        sequential = self._fresh_client()
+        crawler_pages = 0
+        max_id = None
+        while True:
+            page = sequential.public_timeline(
+                "alpha.example", local=True, limit=5, max_id=max_id
+            )
+            crawler_pages += 1
+            if not page or len(page) < 5:
+                break
+            max_id = page[-1]["id"]
+
+        batched = self._fresh_client()
+        stream = batched.stream_timeline("alpha.example", local=True, page_size=5)
+        assert stream.pages == crawler_pages == 3
+        assert _stats_tuple(batched) == _stats_tuple(sequential)
+
+    def test_stream_timeline_failure_counts_one_request(self):
+        sequential = self._fresh_client()
+        sequential.get("down.example", "/api/v1/timelines/public?local=true&limit=5")
+        batched = self._fresh_client()
+        stream = batched.stream_timeline("down.example", local=True, page_size=5)
+        assert not stream.ok
+        assert stream.pages == 1
+        assert _stats_tuple(batched) == _stats_tuple(sequential)

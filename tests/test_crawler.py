@@ -7,9 +7,12 @@ import pytest
 from repro.api.client import APIClient
 from repro.api.server import FediverseAPIServer
 from repro.crawler.builder import build_dataset
-from repro.crawler.campaign import CampaignConfig, MeasurementCampaign
+from repro.crawler.campaign import CampaignConfig, CrawlResult, MeasurementCampaign
 from repro.crawler.crawler import InstanceCrawler, TimelineCrawler
 from repro.crawler.directory import InstanceDirectory
+from repro.crawler.snapshots import CrawlFailure, InstanceSnapshot
+from repro.datasets.store import Dataset
+from repro.fediverse.instance import InstanceAvailability
 from repro.fediverse.registry import FediverseRegistry
 from repro.fediverse.software import SoftwareKind
 from repro.mrf.simple import SimplePolicy
@@ -170,6 +173,123 @@ class TestCampaign:
             crawl_target, CampaignConfig(duration_days=0.5, directory_coverage=1.0)
         ).run()
         assert crawl_target.clock.now() >= start + 0.5 * 86400
+
+
+class TestNodeinfoFailureRecording:
+    """A failed nodeinfo probe must be logged, not silently swallowed."""
+
+    @pytest.fixture
+    def secretive_registry(self) -> FediverseRegistry:
+        registry = FediverseRegistry()
+        # A Mastodon-style instance: its metadata version string ("3.1.0")
+        # cannot be classified, and it publishes no nodeinfo document.
+        instance = registry.create_instance(
+            "secretive.example",
+            software=SoftwareKind.MASTODON,
+            version="3.1.0",
+            install_default_policies=False,
+            expose_nodeinfo=False,
+        )
+        instance.register_user("ghost")
+        return registry
+
+    def test_snapshot_records_nodeinfo_failure(self, secretive_registry):
+        crawler = InstanceCrawler(APIClient(FediverseAPIServer(secretive_registry)))
+        snapshot = crawler.snapshot("secretive.example", now=10.0)
+        # The snapshot itself survives (the instance endpoint answered) ...
+        assert snapshot is not None
+        assert snapshot.software == "unknown"
+        # ... but the failed probe is on the record, like a real crawler's log.
+        assert len(crawler.failures) == 1
+        failure = crawler.failures[0]
+        assert failure.domain == "secretive.example"
+        assert failure.status_code == 404
+        assert failure.reason.startswith("nodeinfo:")
+
+    def test_batched_snapshot_records_identical_failure(self, secretive_registry):
+        sequential = InstanceCrawler(APIClient(FediverseAPIServer(secretive_registry)))
+        sequential.snapshot("secretive.example", now=10.0)
+        batched = InstanceCrawler(APIClient(FediverseAPIServer(secretive_registry)))
+        batched.snapshot_many(["secretive.example"], now=10.0)
+        assert batched.failures == sequential.failures
+
+    def test_nodeinfo_failure_does_not_pollute_breakdown(self, secretive_registry):
+        """The snapshot succeeded, so the domain is crawlable — the logged
+        nodeinfo failure must not count it as an uncrawlable instance."""
+        campaign = MeasurementCampaign(
+            secretive_registry,
+            CampaignConfig(duration_days=0.2, directory_coverage=1.0),
+        )
+        campaign.directory = _FixedListing(["secretive.example"])
+        result = campaign.run()
+        assert "secretive.example" in result.latest_snapshots
+        assert any(f.reason.startswith("nodeinfo:") for f in result.failures)
+        assert result.failure_status_breakdown == {}
+
+
+class _FixedListing:
+    def __init__(self, domains):
+        self._domains = list(domains)
+
+    def pleroma_instances(self):
+        return list(self._domains)
+
+
+class TestFailureStatusBreakdown:
+    """Edge cases of CrawlResult.failure_status_breakdown."""
+
+    @staticmethod
+    def _snapshot(domain: str) -> InstanceSnapshot:
+        return InstanceSnapshot(domain=domain, timestamp=1.0, software="pleroma")
+
+    def test_fail_then_succeed_is_excluded(self):
+        """A domain that failed early but was snapshotted later is crawlable."""
+        result = CrawlResult(dataset=Dataset())
+        result.failures = [
+            CrawlFailure(domain="recovered.example", timestamp=1.0, status_code=503),
+            CrawlFailure(domain="gone.example", timestamp=1.0, status_code=404),
+        ]
+        result.latest_snapshots["recovered.example"] = self._snapshot("recovered.example")
+        assert result.failure_status_breakdown == {404: 1}
+
+    def test_repeated_distinct_statuses_keep_the_last(self):
+        """Per domain, only the *final* failure status is counted."""
+        result = CrawlResult(dataset=Dataset())
+        result.failures = [
+            CrawlFailure(domain="flappy.example", timestamp=1.0, status_code=502),
+            CrawlFailure(domain="flappy.example", timestamp=2.0, status_code=503),
+            CrawlFailure(domain="flappy.example", timestamp=3.0, status_code=410),
+        ]
+        assert result.failure_status_breakdown == {410: 1}
+
+    def test_multiple_domains_aggregate_by_final_status(self):
+        result = CrawlResult(dataset=Dataset())
+        result.failures = [
+            CrawlFailure(domain="a.example", timestamp=1.0, status_code=502),
+            CrawlFailure(domain="b.example", timestamp=1.0, status_code=503),
+            CrawlFailure(domain="a.example", timestamp=2.0, status_code=503),
+            CrawlFailure(domain="c.example", timestamp=1.0, status_code=404),
+        ]
+        assert result.failure_status_breakdown == {503: 2, 404: 1}
+
+    def test_churned_domain_excluded_when_snapshotted_early(self):
+        """A churn casualty (up early, down later) is crawlable: it has both
+        snapshots and failures, and must not appear in the breakdown."""
+        registry = FediverseRegistry()
+        instance = registry.create_instance("churny.example", install_default_policies=False)
+        instance.register_user("u")
+        instance.publish("u", "still here")
+        # Goes down after the second snapshot round (rounds are 4h apart).
+        instance.availability = InstanceAvailability(down_after=5 * 3600.0)
+        campaign = MeasurementCampaign(
+            registry, CampaignConfig(duration_days=1.0, directory_coverage=1.0)
+        )
+        result = campaign.run()
+        assert result.snapshot_counts["churny.example"] == 2
+        assert any(f.status_code == 503 for f in result.failures)
+        assert result.failure_status_breakdown == {}
+        # The timeline phase also found it down by then.
+        assert not result.timelines[0].reachable
 
 
 class TestBuilder:

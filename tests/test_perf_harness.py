@@ -30,6 +30,7 @@ def test_report_contains_every_benchmark(tiny_report) -> None:
         "corpus",
         "threshold_sweep",
         "delivery",
+        "crawl",
     }
     for metrics in report.metrics.values():
         assert metrics["speedup"] > 0.0
@@ -42,6 +43,13 @@ def test_report_contains_every_benchmark(tiny_report) -> None:
     assert report.metrics["delivery"]["deliveries"] > 0.0
     assert report.metrics["delivery"]["batches"] > 0.0
     assert report.metrics["delivery"]["batch_rejects"] >= 0.0
+    assert report.metrics["crawl"]["domains"] > 0.0
+    assert report.metrics["crawl"]["rounds"] > 0.0
+    assert report.metrics["crawl"]["api_requests"] > 0.0
+    assert report.metrics["crawl"]["posts_collected"] > 0.0
+    # The crawl stage ran (and therefore passed) the churn equivalence gate,
+    # and the reduced churn population actually lost domains mid-campaign.
+    assert report.metrics["crawl"]["churn_flipped_domains"] > 0.0
     assert report.dataset["posts"] > 0
 
 
