@@ -1,10 +1,13 @@
-"""A small laboratory for Pleroma's MRF policies.
+"""A small laboratory for Pleroma's MRF policies and their decision plans.
 
 Builds one receiving instance, configures a realistic policy pipeline
 (SimplePolicy, ObjectAgePolicy, HellthreadPolicy, KeywordPolicy, TagPolicy)
 and replays a set of crafted activities through it, printing what each
-policy does to each activity.  Useful to understand exactly which mechanism
-produces the moderation events the paper measures.
+policy does to each activity.  Every policy declares a
+:class:`~repro.mrf.base.DecisionPlan` — the declarative description of its
+gates, triggers and shareable decisions the compiled pipeline fast-paths —
+so the lab also prints each plan and finishes by *authoring* a policy with
+a custom plan, the way a new policy should be written.
 
 Run with::
 
@@ -17,9 +20,18 @@ from repro.activitypub.activities import create_activity
 from repro.activitypub.actors import Actor
 from repro.fediverse.clock import SECONDS_PER_DAY
 from repro.fediverse.post import MediaAttachment, Post
+from repro.mrf.base import (
+    ContentTrigger,
+    DecisionPlan,
+    MRFContext,
+    MRFDecision,
+    MRFPolicy,
+    PolicyTriggers,
+)
 from repro.mrf.object_age import ObjectAgePolicy
 from repro.mrf.keywords import KeywordPolicy
 from repro.mrf.pipeline import MRFPipeline
+from repro.mrf.shared import shared_trigger_columns
 from repro.mrf.simple import SimplePolicy
 from repro.mrf.tag import TagAction, TagPolicy
 from repro.mrf.threads import HellthreadPolicy
@@ -44,6 +56,42 @@ def build_pipeline() -> MRFPipeline:
     tag_policy.tag_user("annoying@elsewhere.example", TagAction.FORCE_UNLISTED)
     pipeline.add_policy(tag_policy)
     return pipeline
+
+
+def describe_plan(policy: MRFPolicy) -> str:
+    """Render the declarative plan of one policy in a line."""
+    plan = policy.plan()
+    if plan is None:
+        return "opaque (no plan: always runs, shares nothing)"
+    triggers = plan.triggers
+    parts = []
+    if triggers.match_all:
+        parts.append("match_all")
+    if triggers.domains:
+        parts.append(f"domains={sorted(triggers.domains)}")
+    if triggers.suffixes:
+        parts.append(f"suffixes={sorted(triggers.suffixes)}")
+    if triggers.handles:
+        parts.append(f"handles={sorted(triggers.handles)}")
+    if triggers.max_post_age is not None:
+        parts.append(f"post_age>{triggers.max_post_age:.0f}s")
+    if triggers.min_mentions is not None:
+        parts.append(f"mentions>={triggers.min_mentions}")
+    if triggers.content is not None:
+        parts.append(f"content~{sorted(triggers.content.columns.terms)}")
+    if triggers.activity_types is not None:
+        parts.append(f"types={sorted(t.value for t in triggers.activity_types)}")
+    if not parts:
+        parts.append("never acts")
+    extras = []
+    if plan.origin_pure is not None:
+        extras.append("origin-pure reject (whole batches share one decision)")
+    if plan.shared_rewrite is not None:
+        extras.append("content-independent rewrite (slices share one rewrite)")
+    rendered = ", ".join(parts)
+    if extras:
+        rendered += "  [" + "; ".join(extras) + "]"
+    return rendered
 
 
 def sample_activities() -> list:
@@ -93,24 +141,95 @@ def sample_activities() -> list:
     ]
 
 
+class LinkShortenerPolicy(MRFPolicy):
+    """An example of *authoring* a policy with a declarative plan.
+
+    Rejects posts that carry a link-shortener URL.  The plan declares a
+    content trigger over the shortener hostnames through the shared
+    interned columns: posts without any of those literals provably pass
+    untouched, so the compiled pipeline never runs the policy on them.
+    """
+
+    name = "LinkShortenerPolicy"
+
+    #: The shortener hostnames the policy refuses to federate.
+    SHORTENERS = ("sketchy.ly", "shady.to")
+
+    def plan(self) -> DecisionPlan:
+        columns = shared_trigger_columns(self.SHORTENERS, anchored=False)
+        return DecisionPlan(
+            triggers=PolicyTriggers(content=ContentTrigger(columns=columns))
+        )
+
+    def filter(self, activity, ctx: MRFContext) -> MRFDecision:
+        post = activity.post
+        if post is None:
+            return self.accept(activity)
+        lowered = post.content.lower()
+        for host in self.SHORTENERS:
+            if host in lowered:
+                return self.reject(
+                    activity,
+                    action="reject",
+                    reason=f"link shortener {host} is not allowed",
+                )
+        return self.accept(activity)
+
+
 def main() -> None:
     pipeline = build_pipeline()
-    print("enabled policies:", ", ".join(pipeline.policy_names))
+    pipeline.add_policy(LinkShortenerPolicy())
+    print("enabled policies and their decision plans:")
+    for policy in pipeline.policies:
+        print(f"  {policy.name:22s} {describe_plan(policy)}")
+    compiled = pipeline.compiled()
+    print(
+        f"\ncompiled pipeline: fully_planned={compiled.fully_planned}, "
+        f"{len(compiled.entries)} live entries "
+        f"({len(pipeline.policies) - len(compiled.entries)} provably inert, dropped)"
+    )
     print()
-    header = f"{'origin':22s} {'author':10s} {'verdict':8s} {'policy':18s} {'action':28s}"
+    header = f"{'origin':22s} {'author':10s} {'verdict':8s} {'policy':20s} {'action':28s}"
     print(header)
     print("-" * len(header))
-    for activity in sample_activities():
+    activities = sample_activities()
+    activities.append(
+        create_activity(
+            Post(
+                post_id="elsewhere.example-promoter",
+                author="promoter@elsewhere.example",
+                domain="elsewhere.example",
+                content="deals at https://sketchy.ly/xyz",
+                created_at=NOW - 600,
+            )
+        )
+    )
+    for activity in activities:
         decision = pipeline.filter(activity, now=NOW)
         author = activity.actor.username
         print(
             f"{activity.origin_domain:22s} {author:10s} "
-            f"{decision.verdict.value:8s} {decision.policy or '-':18s} {decision.action:28s}"
+            f"{decision.verdict.value:8s} {decision.policy or '-':20s} {decision.action:28s}"
         )
     print()
     print(f"moderation events recorded: {len(pipeline.events)}")
     for event in pipeline.events:
         print(f"  [{event.policy}] {event.action} <- {event.origin_domain} ({event.reason})")
+
+    # The batch programs behind delivery: whole batches from blocked.example
+    # share one origin-pure reject decision.
+    shared, _, _ = pipeline.apply_batch(
+        [create_activity(Post(
+            post_id=f"blocked.example-{i}",
+            author="troll@blocked.example",
+            domain="blocked.example",
+            content="spam wave",
+            created_at=NOW - 60,
+        )) for i in range(3)],
+        "blocked.example",
+        now=NOW,
+    )
+    print(f"\nbatch program for blocked.example shares one decision: {shared}")
 
 
 if __name__ == "__main__":

@@ -21,7 +21,11 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.activitypub.activities import Activity, ActivityType, create_activity
-from repro.fediverse.errors import FederationError, PostNotFoundError
+from repro.fediverse.errors import (
+    FederationError,
+    PostNotFoundError,
+    UnknownInstanceError,
+)
 from repro.fediverse.identifiers import normalise_domain, parse_handle
 from repro.fediverse.instance import Instance
 from repro.fediverse.post import Post, Visibility
@@ -30,6 +34,20 @@ from repro.fediverse.registry import FediverseRegistry
 #: Mirror of :data:`repro.mrf.base.PASS_ACTION` — kept literal so this module
 #: does not import the MRF layer (which itself imports activitypub).
 PASS_ACTION = "pass"
+
+#: Lazily resolved :class:`repro.mrf.pipeline.StageDecision` (same layering
+#: concern as PASS_ACTION: the MRF layer imports activitypub, so the type is
+#: looked up on first use instead of at import time).
+_STAGE_DECISION: type | None = None
+
+
+def _stage_decision_type() -> type:
+    global _STAGE_DECISION
+    if _STAGE_DECISION is None:
+        from repro.mrf.pipeline import StageDecision
+
+        _STAGE_DECISION = StageDecision
+    return _STAGE_DECISION
 
 
 @dataclass(slots=True)
@@ -199,6 +217,10 @@ class FederationDelivery:
         #: How many single-origin batches were rejected wholesale by the
         #: shared-decision fast path (see :meth:`deliver_batch`).
         self.batch_rejects = 0
+        #: How many single-origin batches had rewrites applied through a
+        #: shared content-independent stage (one decision per batch slice)
+        #: instead of per-activity policy runs.
+        self.batch_rewrites = 0
         if sinks is None:
             self.sinks: list[DeliverySink] = [ListSink(self.reports)]
         else:
@@ -239,8 +261,13 @@ class FederationDelivery:
         target_domain = target.domain
         registry = self.registry
         origins_seen: set[str] = set()
+        # Generated batches are single-origin and share one interned origin
+        # string, so the identity check skips the validated common case.
+        last: str | None = None
         for activity in activities:
             origin = activity.origin_domain
+            if origin is last:
+                continue
             if origin == target_domain:
                 raise FederationError(
                     "cannot deliver an activity to its origin instance"
@@ -250,23 +277,38 @@ class FederationDelivery:
                 # Activity origins and instance domains are normalised on
                 # construction, so the fast path is safe here.
                 registry.federate_normalised(origin, target_domain)
+            last = origin
         return origins_seen
 
-    def _batch_reject(
-        self, target: Instance, activities: list[Activity], origins: set[str], now: float
-    ) -> tuple[str, str, str] | None:
-        """Try the shared-decision reject for a single-origin batch.
+    def _apply_batch(
+        self,
+        target: Instance,
+        activities: list[Activity],
+        origins: set[str],
+        now: float,
+        lean: bool = False,
+    ) -> tuple[tuple[str, str, str] | None, list | None]:
+        """Run the batch through the target pipeline's shared-decision engine.
 
-        Returns the shared ``(policy, action, reason)`` — with the
-        per-activity moderation events already logged by the pipeline —
-        or ``None`` when the batch must be filtered normally.
+        Single-origin batches go through the pipeline's per-origin batch
+        program (:meth:`repro.mrf.pipeline.MRFPipeline.apply_batch`), which
+        shares origin-pure rejects and content-independent rewrites across
+        the batch; mixed-origin batches fall back to the lazy per-activity
+        filter.  Returns ``(shared, decisions)`` with the per-activity
+        moderation events already logged by the pipeline; ``shared`` set
+        means every activity was rejected with that ``(policy, action,
+        reason)`` and ``decisions`` is ``None``.
         """
-        if len(origins) != 1 or not activities:
-            return None
-        shared = target.mrf.batch_reject(activities, next(iter(origins)), now)
-        if shared is not None:
-            self.batch_rejects += 1
-        return shared
+        if len(origins) == 1 and activities:
+            shared, decisions, rewrites = target.mrf.apply_batch(
+                activities, next(iter(origins)), now, lean=lean
+            )
+            if shared is not None:
+                self.batch_rejects += 1
+            if rewrites:
+                self.batch_rewrites += 1
+            return shared, decisions
+        return None, target.mrf.filter_batch_lazy(activities, now=now)
 
     def _deliver_to(
         self, target: Instance, activities: Iterable[Activity]
@@ -278,7 +320,7 @@ class FederationDelivery:
         target_domain = target.domain
         now = registry.clock.now()
 
-        shared = self._batch_reject(target, activities, origins, now)
+        shared, decisions = self._apply_batch(target, activities, origins, now)
         if shared is not None:
             policy, action, reason = shared
             reports = []
@@ -297,7 +339,6 @@ class FederationDelivery:
                 reports.append(report)
             return reports
 
-        decisions = target.mrf.filter_batch_lazy(activities, now=now)
         reports = []
         for activity, decision in zip(activities, decisions):
             if decision is None:
@@ -348,12 +389,19 @@ class FederationDelivery:
             return len(reports), rejected
 
         registry = self.registry
-        target = registry.get(normalise_domain(target_domain))
+        try:
+            # Generated batches carry already-normalised target domains;
+            # re-normalise only when the fast lookup misses.
+            target = registry.get_normalised(target_domain)
+        except UnknownInstanceError:
+            target = registry.get(normalise_domain(target_domain))
         activities = list(activities)
         origins = self._validate_batch(target, activities)
         now = registry.clock.now()
 
-        shared = self._batch_reject(target, activities, origins, now)
+        shared, decisions = self._apply_batch(
+            target, activities, origins, now, lean=True
+        )
         if shared is not None:
             policy = shared[0]
             stats = self.stats
@@ -363,7 +411,6 @@ class FederationDelivery:
             stats.by_policy[policy] = stats.by_policy.get(policy, 0) + count
             return count, count
 
-        decisions = target.mrf.filter_batch_lazy(activities, now=now)
         stats = self.stats
         by_policy = stats.by_policy
         create = ActivityType.CREATE
@@ -374,6 +421,7 @@ class FederationDelivery:
         remote_posts = target.remote_posts
         wkn_add = target.timelines.whole_known_network.add
         public = Visibility.PUBLIC
+        stage_decision = _STAGE_DECISION or _stage_decision_type()
         delivered = len(activities)
         accepted = 0
         rejected = 0
@@ -381,6 +429,17 @@ class FederationDelivery:
         for activity, decision in zip(activities, decisions):
             if decision is None:
                 accepted += 1
+                obj = activity.obj
+            elif decision.__class__ is stage_decision:
+                # A lean shared-stage outcome: the decision metadata is
+                # batch-shared and only the rewritten post is materialised.
+                by_policy[decision.policy] = by_policy.get(decision.policy, 0) + 1
+                if not decision.accepted:
+                    rejected += 1
+                    continue
+                accepted += 1
+                modified += 1
+                obj = decision.post
             else:
                 if decision.policy:
                     by_policy[decision.policy] = by_policy.get(decision.policy, 0) + 1
@@ -391,13 +450,15 @@ class FederationDelivery:
                 if decision.modified:
                     modified += 1
                 activity = decision.activity
-            obj = activity.obj
+                obj = activity.obj
             if type(obj) is Post and activity.activity_type is create:
                 remote_posts[obj.post_id] = obj
-                if obj.visibility is public and not obj.extra.get(
-                    "federated_timeline_removal", False
-                ):
-                    wkn_add(obj.post_id)
+                if obj.visibility is public:
+                    extra = obj.extra
+                    if not extra or not extra.get(
+                        "federated_timeline_removal", False
+                    ):
+                        wkn_add(obj.post_id)
             else:
                 apply_accepted(registry, activity, target)
         stats.delivered += delivered

@@ -11,17 +11,74 @@ This package implements the policy pipeline, the in-built policies listed in
 Table 3 of the paper (plus the in-built policies only visible in Figure 7)
 and support for admin-created custom policies (the paper observes 20 of
 those in the wild).
+
+How to author a policy
+======================
+
+Subclass :class:`~repro.mrf.base.MRFPolicy`, set ``name``, implement
+``filter(activity, ctx) -> MRFDecision`` — and declare a decision plan by
+implementing ``plan() -> DecisionPlan``.  The plan is what lets
+:class:`~repro.mrf.pipeline.CompiledPipeline` keep your policy off the hot
+path; a policy without one (``plan()`` returning ``None``) forces every
+activity through the Python walk.
+
+**Gates vs triggers.**  A plan's :class:`~repro.mrf.base.PolicyTriggers`
+holds *gates* — ``activity_types``, ``local_origin_only`` — that are ANDed
+(outside the gate the policy never acts), and *triggers* — origin domains
+and suffixes, actor handles, a post-age cutoff, post visibilities, a
+mention-count floor, media/bot/reply flags, interned content columns,
+``match_all`` — that are ORed (inside the gate, the policy can only act
+when at least one trigger fires).  Triggers must be *conservative*: they
+may fire for an activity the policy would pass through, never stay silent
+for one it would touch.  A trigger-less plan means "never acts" and the
+pipeline drops the policy at compile time.
+
+**The side-effect rule.**  Skipping a policy is only sound when its
+pass-through is a strict no-op.  If your ``filter`` mutates state (counters,
+caches, history) on a branch, every such branch must be covered by a
+trigger — ``match_all`` in the worst case (see ``AutoTagPolicy``).  A
+narrower trigger is fine when the side effect sits *behind* it: the
+StealEmojiPolicy only mutates once a host matched, so its host triggers are
+sound despite the policy being stateful.  State mutated on skipped
+activities that no trigger covers is a correctness bug, not a slow path.
+
+**When sharing is sound.**  Beyond triggers, a plan may declare two
+stronger, *exact* properties:
+
+* ``origin_pure`` — a hook returning the ``(action, reason)`` your filter
+  applies to *every* activity from an origin before anything else (e.g. the
+  SimplePolicy reject action).  Batched delivery then rejects whole
+  single-origin batches with one shared decision.  Only sound when the
+  check really depends on the origin alone and short-circuits ahead of all
+  per-activity behaviour.
+* ``shared_rewrite`` — a :class:`~repro.mrf.base.SharedRewrite` declaring
+  that the rewrite is *content-independent* per batch slice: which posts
+  are touched follows from the age selector alone, and what happens to
+  them from a small slice key (e.g. the ObjectAge delist applying
+  identically to every stale public post).  Unlike triggers these must be
+  exact — the pipeline applies the declared outcome *without running your
+  filter* — so never declare them for decisions that read anything the
+  declaration doesn't.
+
+Bump ``config_version`` (via ``self._bump_config_version()``) in every
+mutating configuration method so compiled pipelines rebuild your plan; the
+interned content columns behind ``PolicyTriggers.content`` are re-keyed by
+the rebuilt plan, which is what keeps stale hit vectors out of decisions.
 """
 
 from repro.mrf.allowlist import BlockPolicy, UserAllowListPolicy
 from repro.mrf.base import (
     PASS_ACTION,
+    ContentTrigger,
+    DecisionPlan,
     MRFContext,
     MRFDecision,
     MRFPolicy,
     ModerationEvent,
-    PolicyPrecheck,
     PolicyStats,
+    PolicyTriggers,
+    SharedRewrite,
+    SliceOutcome,
     Verdict,
 )
 from repro.mrf.bots import (
@@ -41,7 +98,7 @@ from repro.mrf.keywords import (
 from repro.mrf.media import HashtagPolicy, MediaProxyWarmingPolicy, StealEmojiPolicy
 from repro.mrf.noop import DropPolicy, NoOpPolicy
 from repro.mrf.object_age import ObjectAgePolicy
-from repro.mrf.pipeline import CompiledPipeline, MRFPipeline
+from repro.mrf.pipeline import BatchProgram, CompiledPipeline, MRFPipeline
 from repro.mrf.proposed import (
     PROPOSED_POLICY_NAMES,
     AutoTagPolicy,
@@ -76,7 +133,12 @@ __all__ = [
     "Verdict",
     "MRFPipeline",
     "CompiledPipeline",
-    "PolicyPrecheck",
+    "BatchProgram",
+    "ContentTrigger",
+    "DecisionPlan",
+    "PolicyTriggers",
+    "SharedRewrite",
+    "SliceOutcome",
     # Registry helpers
     "BUILTIN_POLICY_DESCRIPTIONS",
     "DEFAULT_POLICY_NAMES",

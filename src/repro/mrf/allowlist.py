@@ -12,7 +12,13 @@ from typing import Any, Iterable
 
 from repro.activitypub.activities import Activity
 from repro.fediverse.identifiers import normalise_domain
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy
+from repro.mrf.base import (
+    DecisionPlan,
+    MRFContext,
+    MRFDecision,
+    MRFPolicy,
+    PolicyTriggers,
+)
 
 
 class UserAllowListPolicy(MRFPolicy):
@@ -31,10 +37,17 @@ class UserAllowListPolicy(MRFPolicy):
         """Add ``handle`` to the allow-list of ``domain``."""
         domain = normalise_domain(domain)
         self._allowed.setdefault(domain, set()).add(handle.lower().lstrip("@"))
+        self._bump_config_version()
 
     def config(self) -> dict[str, Any]:
         """Return the per-domain allow-lists."""
         return {domain: sorted(handles) for domain, handles in sorted(self._allowed.items())}
+
+    def plan(self) -> DecisionPlan:
+        """Only origins that have an allow-list can see rejections."""
+        return DecisionPlan(
+            triggers=PolicyTriggers(domains=frozenset(self._allowed))
+        )
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Reject activities from unlisted actors of allow-listed domains."""
@@ -64,18 +77,24 @@ class BlockPolicy(MRFPolicy):
     def block(self, handle: str) -> None:
         """Add ``handle`` to the block list."""
         self._blocked.add(handle.lower().lstrip("@"))
+        self._bump_config_version()
 
     def unblock(self, handle: str) -> bool:
         """Remove ``handle`` from the block list; return ``True`` when present."""
         handle = handle.lower().lstrip("@")
         if handle in self._blocked:
             self._blocked.discard(handle)
+            self._bump_config_version()
             return True
         return False
 
     def config(self) -> dict[str, Any]:
         """Return the blocked handles."""
         return {"blocked": sorted(self._blocked)}
+
+    def plan(self) -> DecisionPlan:
+        """Only activities from blocked handles are touched."""
+        return DecisionPlan(triggers=PolicyTriggers(handles=frozenset(self._blocked)))
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Reject activities whose actor is blocked."""

@@ -15,7 +15,13 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.activitypub.activities import Activity
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy, PolicyPrecheck
+from repro.mrf.base import (
+    DecisionPlan,
+    MRFContext,
+    MRFDecision,
+    MRFPolicy,
+    PolicyTriggers,
+)
 
 #: Names of admin-created policies observed in the wild (Figure 7 of the
 #: paper).  The crawler sees only these names; their code never leaves the
@@ -70,7 +76,7 @@ class CustomPolicy(MRFPolicy):
 
     @behaviour.setter
     def behaviour(self, value: CustomBehaviour | None) -> None:
-        # Assigning a behaviour invalidates the never-acts precheck that
+        # Assigning a behaviour invalidates the never-acts plan that
         # compiled pipelines may have baked in for the pass-through case.
         self._behaviour = value
         self._bump_config_version()
@@ -79,11 +85,15 @@ class CustomPolicy(MRFPolicy):
         """Return whatever is externally observable about the policy."""
         return {"description": self.description, "custom": True}
 
-    def precheck(self) -> PolicyPrecheck | None:
-        """Behaviour-less placeholders never act; real behaviours are opaque."""
+    def plan(self) -> DecisionPlan:
+        """Behaviour-less placeholders never act; real behaviours run always.
+
+        An arbitrary behaviour callable could touch anything, so the only
+        sound triggers for it are ``match_all``.
+        """
         if self.behaviour is None:
-            return PolicyPrecheck()
-        return None
+            return DecisionPlan(triggers=PolicyTriggers())
+        return DecisionPlan(triggers=PolicyTriggers(match_all=True))
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Run the supplied behaviour, defaulting to pass-through."""

@@ -17,15 +17,34 @@ from typing import Any, Iterable
 
 from repro.activitypub.activities import Activity, ActivityType
 from repro.fediverse.post import Visibility
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy
+from repro.mrf.base import (
+    ContentTrigger,
+    DecisionPlan,
+    MRFContext,
+    MRFDecision,
+    MRFPolicy,
+    PolicyTriggers,
+)
+from repro.mrf.shared import shared_trigger_columns
 
 _TAG_RE = re.compile(r"<[^>]+>")
 _PLACEHOLDER_BODIES = {".", "-", "_", "placeholder", "​"}
 
+#: Characters that make a configured pattern a real regex rather than a
+#: literal phrase.  Literal phrases back the plan's substring trigger; a
+#: single regex pattern in the configuration makes the policy run always.
+_REGEX_SPECIALS = frozenset(".^$*+?{}[]()|\\")
+
 
 class KeywordPolicy(MRFPolicy):
     """A list of patterns which result in messages being rejected, unlisted
-    or having matches replaced."""
+    or having matches replaced.
+
+    Pattern lists are managed through :meth:`add_pattern` /
+    :meth:`remove_pattern` / :meth:`set_replacement`, which bump the
+    configuration version so compiled pipelines rebuild the plan (and its
+    interned content columns) on mutation.
+    """
 
     name = "KeywordPolicy"
 
@@ -35,22 +54,110 @@ class KeywordPolicy(MRFPolicy):
         federated_timeline_removal: Iterable[str] = (),
         replace: dict[str, str] | None = None,
     ) -> None:
-        self.reject_patterns = [self._compile(p) for p in reject]
-        self.ftl_removal_patterns = [self._compile(p) for p in federated_timeline_removal]
-        self.replacements = dict(replace or {})
+        self._reject_patterns = [self._compile(p) for p in reject]
+        self._ftl_removal_patterns = [
+            self._compile(p) for p in federated_timeline_removal
+        ]
+        self._replacements = dict(replace or {})
 
     @staticmethod
     def _compile(pattern: str) -> re.Pattern[str]:
         """Compile a configured pattern case-insensitively."""
         return re.compile(pattern, re.IGNORECASE)
 
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    @property
+    def reject_patterns(self) -> tuple[re.Pattern[str], ...]:
+        """Return the compiled reject patterns."""
+        return tuple(self._reject_patterns)
+
+    @property
+    def ftl_removal_patterns(self) -> tuple[re.Pattern[str], ...]:
+        """Return the compiled federated-timeline-removal patterns."""
+        return tuple(self._ftl_removal_patterns)
+
+    @property
+    def replacements(self) -> dict[str, str]:
+        """Return the needle -> replacement mapping."""
+        return dict(self._replacements)
+
+    def add_pattern(self, kind: str, pattern: str) -> None:
+        """Add a pattern to ``"reject"`` or ``"federated_timeline_removal"``."""
+        self._pattern_list(kind).append(self._compile(pattern))
+        self._bump_config_version()
+
+    def remove_pattern(self, kind: str, pattern: str) -> bool:
+        """Remove a pattern; return ``True`` when it was configured."""
+        patterns = self._pattern_list(kind)
+        for index, compiled in enumerate(patterns):
+            if compiled.pattern == pattern:
+                del patterns[index]
+                self._bump_config_version()
+                return True
+        return False
+
+    def set_replacement(self, needle: str, replacement: str) -> None:
+        """Add (or overwrite) a needle -> replacement rewrite."""
+        self._replacements[needle] = replacement
+        self._bump_config_version()
+
+    def remove_replacement(self, needle: str) -> bool:
+        """Remove a replacement; return ``True`` when it was configured."""
+        if needle in self._replacements:
+            del self._replacements[needle]
+            self._bump_config_version()
+            return True
+        return False
+
+    def _pattern_list(self, kind: str) -> list[re.Pattern[str]]:
+        if kind == "reject":
+            return self._reject_patterns
+        if kind == "federated_timeline_removal":
+            return self._ftl_removal_patterns
+        raise ValueError(f"unknown keyword pattern kind: {kind!r}")
+
     def config(self) -> dict[str, Any]:
         """Return the configured pattern lists."""
         return {
-            "reject": [p.pattern for p in self.reject_patterns],
-            "federated_timeline_removal": [p.pattern for p in self.ftl_removal_patterns],
-            "replace": dict(self.replacements),
+            "reject": [p.pattern for p in self._reject_patterns],
+            "federated_timeline_removal": [
+                p.pattern for p in self._ftl_removal_patterns
+            ],
+            "replace": dict(self._replacements),
         }
+
+    # ------------------------------------------------------------------ #
+    # The decision plan
+    # ------------------------------------------------------------------ #
+    def plan(self) -> DecisionPlan:
+        """A substring trigger over the configured literal phrases.
+
+        Every configured pattern is a case-insensitive ``re.search``, so a
+        *literal* pattern can only match a text that contains it as a
+        substring — the trigger scans for all literals at once through the
+        shared interned columns and the policy is skipped when none occurs.
+        A single non-literal (real regex) pattern falls back to running the
+        policy on every post-carrying activity; with nothing configured at
+        all the policy never acts.
+        """
+        raw = [p.pattern for p in self._reject_patterns]
+        raw += [p.pattern for p in self._ftl_removal_patterns]
+        raw += list(self._replacements)
+        if not raw:
+            return DecisionPlan(triggers=PolicyTriggers())
+        literals = set()
+        for pattern in raw:
+            if not pattern.isascii() or _REGEX_SPECIALS & set(pattern):
+                return DecisionPlan(triggers=PolicyTriggers(match_all=True))
+            literals.add(pattern.lower())
+        columns = shared_trigger_columns(
+            literals, anchored=False, with_subject=True, ignorecase=True
+        )
+        return DecisionPlan(
+            triggers=PolicyTriggers(content=ContentTrigger(columns=columns))
+        )
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Check the post content against the configured patterns."""
@@ -59,7 +166,7 @@ class KeywordPolicy(MRFPolicy):
             return self.accept(activity)
         text = f"{post.subject or ''} {post.content}"
 
-        for pattern in self.reject_patterns:
+        for pattern in self._reject_patterns:
             if pattern.search(text):
                 return self.reject(
                     activity,
@@ -71,7 +178,7 @@ class KeywordPolicy(MRFPolicy):
         applied: list[str] = []
 
         new_content = post.content
-        for needle, replacement in self.replacements.items():
+        for needle, replacement in self._replacements.items():
             if re.search(needle, new_content, re.IGNORECASE):
                 new_content = re.sub(needle, replacement, new_content, flags=re.IGNORECASE)
                 applied.append("replace")
@@ -79,7 +186,7 @@ class KeywordPolicy(MRFPolicy):
             post = post.with_changes(content=new_content)
             current = current.with_post(post)
 
-        for pattern in self.ftl_removal_patterns:
+        for pattern in self._ftl_removal_patterns:
             if pattern.search(text):
                 current = current.with_flag("federated_timeline_removal", True)
                 applied.append("federated_timeline_removal")
@@ -96,7 +203,12 @@ class KeywordPolicy(MRFPolicy):
 
 
 class VocabularyPolicy(MRFPolicy):
-    """Restrict activities to a configured set of activity types."""
+    """Restrict activities to a configured set of activity types.
+
+    The vocabulary is managed through :meth:`add_type`/:meth:`remove_type`,
+    which bump the configuration version so compiled pipelines rebuild the
+    plan's type gate on mutation.
+    """
 
     name = "VocabularyPolicy"
 
@@ -105,26 +217,80 @@ class VocabularyPolicy(MRFPolicy):
         accept: Iterable[str] = (),
         reject: Iterable[str] = (),
     ) -> None:
-        self.accept_types = {t.capitalize() for t in accept}
-        self.reject_types = {t.capitalize() for t in reject}
+        self._accept_types = {t.capitalize() for t in accept}
+        self._reject_types = {t.capitalize() for t in reject}
+
+    @property
+    def accept_types(self) -> frozenset[str]:
+        """Return the accepted activity-type vocabulary."""
+        return frozenset(self._accept_types)
+
+    @property
+    def reject_types(self) -> frozenset[str]:
+        """Return the rejected activity-type names."""
+        return frozenset(self._reject_types)
+
+    def add_type(self, kind: str, type_name: str) -> None:
+        """Add a type name to the ``"accept"`` or ``"reject"`` vocabulary."""
+        self._type_set(kind).add(type_name.capitalize())
+        self._bump_config_version()
+
+    def remove_type(self, kind: str, type_name: str) -> bool:
+        """Remove a type name; return ``True`` when it was configured."""
+        types = self._type_set(kind)
+        type_name = type_name.capitalize()
+        if type_name in types:
+            types.discard(type_name)
+            self._bump_config_version()
+            return True
+        return False
+
+    def _type_set(self, kind: str) -> set[str]:
+        if kind == "accept":
+            return self._accept_types
+        if kind == "reject":
+            return self._reject_types
+        raise ValueError(f"unknown vocabulary kind: {kind!r}")
 
     def config(self) -> dict[str, Any]:
         """Return the configured vocabulary."""
         return {
-            "accept": sorted(self.accept_types),
-            "reject": sorted(self.reject_types),
+            "accept": sorted(self._accept_types),
+            "reject": sorted(self._reject_types),
         }
+
+    def plan(self) -> DecisionPlan:
+        """A pure type gate: only activities of a rejected (or non-accepted)
+        type can ever be touched.  The acting set is computed over the
+        finite :class:`~repro.activitypub.activities.ActivityType` alphabet,
+        so an empty vocabulary compiles to a never-acting plan."""
+        acting = {
+            activity_type
+            for activity_type in ActivityType
+            if activity_type.value in self._reject_types
+            or (
+                self._accept_types
+                and activity_type.value not in self._accept_types
+            )
+        }
+        if not acting:
+            return DecisionPlan(triggers=PolicyTriggers())
+        return DecisionPlan(
+            triggers=PolicyTriggers(
+                activity_types=frozenset(acting), match_all=True
+            )
+        )
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Reject activity types outside the configured vocabulary."""
         type_name = activity.activity_type.value
-        if type_name in self.reject_types:
+        if type_name in self._reject_types:
             return self.reject(
                 activity,
                 action="reject",
                 reason=f"activity type {type_name} is rejected",
             )
-        if self.accept_types and type_name not in self.accept_types:
+        if self._accept_types and type_name not in self._accept_types:
             return self.reject(
                 activity,
                 action="reject",
@@ -142,6 +308,13 @@ class NormalizeMarkup(MRFPolicy):
     """
 
     name = "NormalizeMarkup"
+
+    def plan(self) -> DecisionPlan:
+        """Only posts containing a ``<`` can carry markup to strip."""
+        columns = shared_trigger_columns(("<",), anchored=False)
+        return DecisionPlan(
+            triggers=PolicyTriggers(content=ContentTrigger(columns=columns))
+        )
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Strip markup tags from the post content."""
@@ -165,6 +338,10 @@ class NoEmptyPolicy(MRFPolicy):
 
     name = "NoEmptyPolicy"
 
+    def plan(self) -> DecisionPlan:
+        """Emptiness is not a trigger the fast path can see: always run."""
+        return DecisionPlan(triggers=PolicyTriggers(match_all=True))
+
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Drop posts with an empty body and no attachments."""
         post = activity.post
@@ -179,6 +356,10 @@ class NoPlaceholderTextPolicy(MRFPolicy):
     """Strip placeholder bodies from media-only posts."""
 
     name = "NoPlaceholderTextPolicy"
+
+    def plan(self) -> DecisionPlan:
+        """Only media-carrying posts can have a placeholder body stripped."""
+        return DecisionPlan(triggers=PolicyTriggers(media_posts=True))
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Clear placeholder bodies such as ``.`` on posts that carry media."""

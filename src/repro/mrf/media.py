@@ -16,7 +16,15 @@ from typing import Any, Iterable
 
 from repro.activitypub.activities import Activity
 from repro.fediverse.identifiers import domain_matches
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy
+from repro.mrf.base import (
+    ContentTrigger,
+    DecisionPlan,
+    MRFContext,
+    MRFDecision,
+    MRFPolicy,
+    PolicyTriggers,
+)
+from repro.mrf.shared import shared_trigger_columns, token_terms
 
 _EMOJI_SHORTCODE_RE = re.compile(r":([a-z0-9_]+):")
 
@@ -38,6 +46,20 @@ class StealEmojiPolicy(MRFPolicy):
         #: shortcode -> origin host of every emoji stolen so far.
         self.stolen: dict[str, str] = {}
 
+    def add_host(self, host: str) -> None:
+        """Whitelist another host (bumps the plan's configuration version)."""
+        self.hosts.add(host.strip().lower())
+        self._bump_config_version()
+
+    def remove_host(self, host: str) -> bool:
+        """Drop a host from the whitelist; return ``True`` when present."""
+        host = host.strip().lower()
+        if host in self.hosts:
+            self.hosts.discard(host)
+            self._bump_config_version()
+            return True
+        return False
+
     def config(self) -> dict[str, Any]:
         """Return the configured host whitelist."""
         return {
@@ -45,6 +67,36 @@ class StealEmojiPolicy(MRFPolicy):
             "rejected_shortcodes": sorted(self.rejected_shortcodes),
             "size_limit": self.size_limit,
         }
+
+    def plan(self) -> DecisionPlan:
+        """Only activities from whitelisted hosts are (statefully) scanned.
+
+        The pass-through branch for non-matching origins is a strict no-op
+        — the shortcode scan and the ``stolen`` bookkeeping only run once a
+        host matched — so origin triggers are sound despite the policy
+        being stateful.  Mutate the whitelist through
+        :meth:`add_host`/:meth:`remove_host` (version-bumping); a direct
+        ``hosts.add(...)`` needs the owning pipeline's
+        ``invalidate_compiled`` afterwards.
+        """
+        if not self.hosts:
+            return DecisionPlan(triggers=PolicyTriggers())
+        from repro.fediverse.identifiers import normalise_domain
+
+        exact = set()
+        suffixes = []
+        for host in self.hosts:
+            if host.startswith("*."):
+                suffixes.append(host[2:])
+                continue
+            try:
+                exact.add(normalise_domain(host))
+            except ValueError:
+                # An unparsable host can never be skipped soundly; run always.
+                return DecisionPlan(triggers=PolicyTriggers(match_all=True))
+        return DecisionPlan(
+            triggers=PolicyTriggers(domains=frozenset(exact), suffixes=tuple(suffixes))
+        )
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Record emoji shortcodes seen in posts from whitelisted hosts."""
@@ -82,6 +134,14 @@ class MediaProxyWarmingPolicy(MRFPolicy):
         self.prefetched: list[str] = []
         self._seen: set[str] = set()
 
+    def plan(self) -> DecisionPlan:
+        """Only media-carrying posts are prefetched (and counted).
+
+        The policy is stateful, but its pass-through for media-less
+        activities is a strict no-op, so the media trigger is sound.
+        """
+        return DecisionPlan(triggers=PolicyTriggers(media_posts=True))
+
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Record attachment URLs for prefetching."""
         post = activity.post
@@ -103,9 +163,17 @@ class MediaProxyWarmingPolicy(MRFPolicy):
 
 
 class HashtagPolicy(MRFPolicy):
-    """List of hashtags to mark activities as sensitive, de-list or reject."""
+    """List of hashtags to mark activities as sensitive, de-list or reject.
+
+    Tag sets are managed through :meth:`add_tag` / :meth:`remove_tag`,
+    which bump the configuration version so compiled pipelines rebuild the
+    plan (and its interned content columns) on mutation.
+    """
 
     name = "HashtagPolicy"
+
+    #: The tag-set kinds understood by :meth:`add_tag`.
+    KINDS = ("sensitive", "federated_timeline_removal", "reject")
 
     def __init__(
         self,
@@ -113,17 +181,87 @@ class HashtagPolicy(MRFPolicy):
         federated_timeline_removal: Iterable[str] = (),
         reject: Iterable[str] = (),
     ) -> None:
-        self.sensitive_tags = {t.lstrip("#").lower() for t in sensitive}
-        self.ftl_removal_tags = {t.lstrip("#").lower() for t in federated_timeline_removal}
-        self.reject_tags = {t.lstrip("#").lower() for t in reject}
+        self._sensitive = {t.lstrip("#").lower() for t in sensitive}
+        self._ftl_removal = {t.lstrip("#").lower() for t in federated_timeline_removal}
+        self._reject = {t.lstrip("#").lower() for t in reject}
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    @property
+    def sensitive_tags(self) -> frozenset[str]:
+        """Return the tags forcing posts to sensitive."""
+        return frozenset(self._sensitive)
+
+    @property
+    def ftl_removal_tags(self) -> frozenset[str]:
+        """Return the tags removed from the federated timeline."""
+        return frozenset(self._ftl_removal)
+
+    @property
+    def reject_tags(self) -> frozenset[str]:
+        """Return the tags causing outright rejection."""
+        return frozenset(self._reject)
+
+    def add_tag(self, kind: str, tag: str) -> None:
+        """Add a tag to one of the configured sets (see :attr:`KINDS`)."""
+        self._tag_set(kind).add(tag.lstrip("#").lower())
+        self._bump_config_version()
+
+    def remove_tag(self, kind: str, tag: str) -> bool:
+        """Remove a tag from a set; return ``True`` when it was configured."""
+        tags = self._tag_set(kind)
+        tag = tag.lstrip("#").lower()
+        if tag in tags:
+            tags.discard(tag)
+            self._bump_config_version()
+            return True
+        return False
+
+    def _tag_set(self, kind: str) -> set[str]:
+        if kind == "sensitive":
+            return self._sensitive
+        if kind == "federated_timeline_removal":
+            return self._ftl_removal
+        if kind == "reject":
+            return self._reject
+        raise ValueError(f"unknown hashtag kind: {kind!r}")
 
     def config(self) -> dict[str, Any]:
         """Return the configured hashtag lists."""
         return {
-            "sensitive": sorted(self.sensitive_tags),
-            "federated_timeline_removal": sorted(self.ftl_removal_tags),
-            "reject": sorted(self.reject_tags),
+            "sensitive": sorted(self._sensitive),
+            "federated_timeline_removal": sorted(self._ftl_removal),
+            "reject": sorted(self._reject),
         }
+
+    # ------------------------------------------------------------------ #
+    # The decision plan
+    # ------------------------------------------------------------------ #
+    def plan(self) -> DecisionPlan:
+        """A hashtag trigger over the interned corpus columns.
+
+        A post is touched only when one of the configured tags occurs in
+        its content (scanned once per distinct post through the shared
+        ``(token_count, hit_vector)`` column store) or in its explicit
+        ``tags`` field (the per-activity residual the scan cannot see).
+        Tag sets made of plain tokens ride the token-anchored corpus
+        matcher; anything else falls back to a substring scan, which is
+        strictly conservative for ``#tag`` occurrences.
+        """
+        terms = self._sensitive | self._ftl_removal | self._reject
+        if not terms:
+            return DecisionPlan(triggers=PolicyTriggers())
+        anchored_terms = token_terms(terms)
+        if anchored_terms is not None:
+            columns = shared_trigger_columns(anchored_terms, anchored=True)
+        else:
+            columns = shared_trigger_columns(terms, anchored=False)
+        return DecisionPlan(
+            triggers=PolicyTriggers(
+                content=ContentTrigger(columns=columns, tag_terms=frozenset(terms))
+            )
+        )
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Apply the configured hashtag actions to the carried post."""
@@ -134,8 +272,8 @@ class HashtagPolicy(MRFPolicy):
         if not tags:
             return self.accept(activity)
 
-        if tags & self.reject_tags:
-            matched = sorted(tags & self.reject_tags)
+        if tags & self._reject:
+            matched = sorted(tags & self._reject)
             return self.reject(
                 activity,
                 action="reject",
@@ -144,11 +282,11 @@ class HashtagPolicy(MRFPolicy):
 
         current = activity
         applied: list[str] = []
-        if tags & self.sensitive_tags and not post.sensitive:
+        if tags & self._sensitive and not post.sensitive:
             post = post.with_changes(sensitive=True)
             current = current.with_post(post)
             applied.append("sensitive")
-        if tags & self.ftl_removal_tags:
+        if tags & self._ftl_removal:
             current = current.with_flag("federated_timeline_removal", True)
             applied.append("federated_timeline_removal")
 

@@ -9,7 +9,13 @@ the paper observes it enabled on exactly one instance.
 from __future__ import annotations
 
 from repro.activitypub.activities import Activity
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy, PolicyPrecheck
+from repro.mrf.base import (
+    DecisionPlan,
+    MRFContext,
+    MRFDecision,
+    MRFPolicy,
+    PolicyTriggers,
+)
 
 
 class NoOpPolicy(MRFPolicy):
@@ -21,9 +27,9 @@ class NoOpPolicy(MRFPolicy):
         """Accept the activity untouched."""
         return self.accept(activity)
 
-    def precheck(self) -> PolicyPrecheck:
+    def plan(self) -> DecisionPlan:
         """A no-op never acts: the pipeline may always skip it."""
-        return PolicyPrecheck()
+        return DecisionPlan(triggers=PolicyTriggers())
 
 
 class DropPolicy(MRFPolicy):
@@ -38,3 +44,14 @@ class DropPolicy(MRFPolicy):
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Reject the activity unconditionally."""
         return self.reject(activity, action="drop", reason="DropPolicy rejects everything")
+
+    def plan(self) -> DecisionPlan:
+        """The ultimate origin-pure decision: everything is rejected."""
+        return DecisionPlan(
+            triggers=PolicyTriggers(match_all=True),
+            origin_pure=self._origin_reject,
+        )
+
+    @staticmethod
+    def _origin_reject(origin: str, local_domain: str) -> tuple[str, str]:
+        return ("drop", "DropPolicy rejects everything")

@@ -5,6 +5,16 @@ Figure 1) because it ships enabled by default from Pleroma 2.1.0.  It guards
 against instances replaying very old posts: when a post arrives whose age
 exceeds the configured threshold, the policy can de-list it, strip its
 follower recipients, or reject it entirely.
+
+The policy is the canonical *content-independent rewrite*: whether it acts
+depends only on the post's age, and what it does depends only on the post's
+visibility — so its decision plan declares a
+:class:`~repro.mrf.base.SharedRewrite` whose per-slice outcomes the compiled
+pipeline can apply to a whole batch without running the policy at all.  The
+rewritten post itself goes through the shared rewrite ledger
+(:func:`repro.mrf.shared.rewrite_ledger`): the same stale post
+federates to many receivers and the delisted/stripped copy is value-
+identical each time, so one copy serves them all.
 """
 
 from __future__ import annotations
@@ -13,8 +23,18 @@ from typing import Any, Iterable
 
 from repro.activitypub.activities import Activity
 from repro.fediverse.clock import SECONDS_PER_DAY
-from repro.fediverse.post import Visibility
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy, PolicyPrecheck, Verdict
+from repro.fediverse.post import Post, Visibility
+from repro.mrf.base import (
+    DecisionPlan,
+    MRFContext,
+    MRFDecision,
+    MRFPolicy,
+    PolicyTriggers,
+    SharedRewrite,
+    SliceOutcome,
+    Verdict,
+)
+from repro.mrf.shared import ledger_room, on_clear, rewrite_ledger
 
 #: The default age threshold (7 days), as shipped by Pleroma.
 DEFAULT_THRESHOLD_SECONDS = 7 * SECONDS_PER_DAY
@@ -22,18 +42,48 @@ DEFAULT_THRESHOLD_SECONDS = 7 * SECONDS_PER_DAY
 #: Actions supported by the policy, in the order they are applied.
 VALID_ACTIONS = ("delist", "strip_followers", "reject")
 
-#: id(original post) -> (original post, actions, rewritten post).  The same
-#: post federates to many receivers, and nearly every receiver runs the
-#: default ObjectAge actions — the delisted/stripped rewrite is
-#: value-identical each time, so one shared copy serves them all (posts are
-#: treated as immutable throughout; every later rewrite copies).  The
-#: original is kept referenced so its id cannot be recycled.
-_REWRITE_CACHE: dict[int, tuple[Any, tuple, Any]] = {}
 
+def _build_rewriter(actions: tuple[str, ...], delist: bool, strip: bool):
+    """Build the slice rewrites ``(activity-level, post-level)``.
 
-def clear_rewrite_cache() -> None:
-    """Drop the shared rewrite cache (used by benchmarks to level the heap)."""
-    _REWRITE_CACHE.clear()
+    The rewrite is fused: instead of chaining
+    ``with_changes``/``with_post``/``with_flag`` (each a full dataclass
+    reconstruction), the final post and activity are built in one copy
+    each.  The observable result is identical to the seed's chain — the
+    perf harness keeps the chained version as its baseline and asserts
+    equality at scale.  The post copy is shared through the rewrite ledger,
+    keyed by the action tuple: every policy applying the same actions to
+    the same post gets one rewritten copy between them.
+    """
+
+    ledger = rewrite_ledger(actions)
+
+    def rewrite_post(post: Post) -> Post:
+        entry = ledger.get(id(post))
+        if entry is not None and entry[0] is post:
+            return entry[1]
+        ledger_room(ledger)
+        new_post = object.__new__(type(post))
+        new_post.__dict__.update(post.__dict__)
+        new_post.extra = dict(post.extra)
+        if delist:
+            new_post.visibility = Visibility.UNLISTED
+        if strip:
+            new_post.extra["followers_stripped"] = True
+        ledger[id(post)] = (post, new_post)
+        return new_post
+
+    def rewrite(activity: Activity, post: Post) -> Activity:
+        new_post = rewrite_post(post)
+        current = object.__new__(type(activity))
+        current.__dict__.update(activity.__dict__)
+        current.extra = dict(activity.extra)
+        current.obj = new_post
+        if strip:
+            current.extra["followers_stripped"] = True
+        return current
+
+    return rewrite, rewrite_post
 
 
 class ObjectAgePolicy(MRFPolicy):
@@ -46,10 +96,7 @@ class ObjectAgePolicy(MRFPolicy):
         threshold: float = DEFAULT_THRESHOLD_SECONDS,
         actions: Iterable[str] = ("delist", "strip_followers"),
     ) -> None:
-        # (action, reason) per applied-combination, precomputed once.
-        self._both_outcome = ("strip_followers", "delist+strip_followers")
-        self._delist_outcome = ("delist", "delist")
-        self._strip_outcome = ("strip_followers", "strip_followers")
+        self._actions: tuple[str, ...] = ()
         self.threshold = threshold
         self.actions = actions  # type: ignore[assignment]  # setter normalises
 
@@ -63,6 +110,7 @@ class ObjectAgePolicy(MRFPolicy):
         if value <= 0:
             raise ValueError("threshold must be positive")
         self._threshold = float(value)
+        self._compile_outcomes()
         self._bump_config_version()
 
     @property
@@ -80,25 +128,97 @@ class ObjectAgePolicy(MRFPolicy):
         self._reject_on_age = "reject" in actions
         self._delist = "delist" in actions
         self._strip = "strip_followers" in actions
+        self._compile_outcomes()
         self._bump_config_version()
+
+    def _compile_outcomes(self) -> None:
+        """Precompute the per-slice outcomes of the shared rewrite.
+
+        Slices are keyed by ``post.visibility is PUBLIC`` — the only
+        content the decision depends on once the age trigger fired.  A
+        missing slice means stale posts of that visibility pass untouched
+        (delist-only configurations on non-public posts).  Outcome tables
+        are interned by ``(name, threshold, actions)``: every policy with
+        the same configuration (the default-install case: one per
+        instance) shares one table, its rewrite ledgers and its lean
+        decision caches.
+        """
+        if not self._actions:
+            self._outcomes: dict[bool, SliceOutcome] = {}
+            return
+        key = (self.name, self._threshold, self._actions)
+        cached = _OUTCOME_TABLES.get(key)
+        if cached is not None:
+            self._outcomes = cached
+            return
+        self._build_outcomes()
+        if len(_OUTCOME_TABLES) >= 1000:
+            _OUTCOME_TABLES.pop(next(iter(_OUTCOME_TABLES)))
+        _OUTCOME_TABLES[key] = self._outcomes
+
+    def _build_outcomes(self) -> None:
+        if self._reject_on_age:
+            reject = SliceOutcome(
+                action="reject",
+                reason=f"post older than {self._threshold:.0f}s",
+                reject=True,
+            )
+            self._outcomes = {True: reject, False: reject}
+            return
+        outcomes: dict[bool, SliceOutcome] = {}
+        delist, strip = self._delist, self._strip
+        if delist:
+            rewrite, rewrite_post = _build_rewriter(
+                self._actions, delist=True, strip=strip
+            )
+            outcomes[True] = SliceOutcome(
+                action="strip_followers" if strip else "delist",
+                reason="delist+strip_followers" if strip else "delist",
+                rewrite=rewrite,
+                rewrite_post=rewrite_post,
+            )
+        if strip:
+            rewrite, rewrite_post = _build_rewriter(
+                self._actions, delist=False, strip=True
+            )
+            strip_only = SliceOutcome(
+                action="strip_followers",
+                reason="strip_followers",
+                rewrite=rewrite,
+                rewrite_post=rewrite_post,
+            )
+            outcomes[False] = strip_only
+            if not delist:
+                outcomes[True] = strip_only
+        self._outcomes = outcomes
 
     def config(self) -> dict[str, Any]:
         """Return the ``mrf_object_age`` configuration block."""
         return {"threshold": self.threshold, "actions": list(self.actions)}
 
-    def precheck(self) -> PolicyPrecheck:
-        """Expose the age cutoff: only posts older than the threshold are touched."""
-        return PolicyPrecheck(max_post_age=self.threshold)
+    def plan(self) -> DecisionPlan:
+        """Expose the age cutoff and the content-independent rewrite.
+
+        Only posts older than the threshold are touched, and what happens
+        to them depends on nothing but their visibility slice — the
+        textbook shareable rewrite.
+        """
+        if not self._outcomes:
+            return DecisionPlan(triggers=PolicyTriggers())
+        return DecisionPlan(
+            triggers=PolicyTriggers(max_post_age=self._threshold),
+            shared_rewrite=SharedRewrite(
+                age_threshold=self._threshold,
+                slice_of=_slice_of,
+                outcomes=self._outcomes,
+            ),
+        )
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Apply the configured actions when the carried post is too old.
 
-        The rewrite branch is fused: instead of chaining
-        ``with_changes``/``with_post``/``with_flag`` (each a full dataclass
-        reconstruction), the final post and activity are built in one copy
-        each.  The observable result is identical to the seed's chain —
-        the perf harness keeps the chained version as its baseline and
-        asserts equality at scale.
+        The body is the plan's own outcome table applied to one activity,
+        so the walked path and the batch-shared path can never drift apart.
         """
         post = activity.post
         if post is None:
@@ -106,49 +226,34 @@ class ObjectAgePolicy(MRFPolicy):
         if post.age(ctx.now) <= self._threshold:
             return self.accept(activity)
 
-        if self._reject_on_age:
-            return self.reject(
-                activity,
-                action="reject",
-                reason=f"post older than {self._threshold:.0f}s",
-            )
-
-        delist = self._delist and post.visibility is Visibility.PUBLIC
-        strip = self._strip
-        if delist:
-            action, reason = self._both_outcome if strip else self._delist_outcome
-        elif strip:
-            action, reason = self._strip_outcome
-        else:
+        outcome = self._outcomes.get(post.visibility is Visibility.PUBLIC)
+        if outcome is None:
             return self.accept(activity)
-
-        cached = _REWRITE_CACHE.get(id(post))
-        if cached is not None and cached[0] is post and cached[1] == self._actions:
-            new_post = cached[2]
-        else:
-            if len(_REWRITE_CACHE) >= 200_000:
-                # Amortised FIFO eviction: long-lived engines stay bounded
-                # without the recompute cliff of a wholesale clear.
-                _REWRITE_CACHE.pop(next(iter(_REWRITE_CACHE)))
-            new_post = object.__new__(type(post))
-            new_post.__dict__.update(post.__dict__)
-            new_post.extra = dict(post.extra)
-            if delist:
-                new_post.visibility = Visibility.UNLISTED
-            if strip:
-                new_post.extra["followers_stripped"] = True
-            _REWRITE_CACHE[id(post)] = (post, self._actions, new_post)
-        current = object.__new__(type(activity))
-        current.__dict__.update(activity.__dict__)
-        current.extra = dict(activity.extra)
-        current.obj = new_post
-        if strip:
-            current.extra["followers_stripped"] = True
+        if outcome.reject:
+            return self.reject(activity, action=outcome.action, reason=outcome.reason)
         return MRFDecision(
             verdict=Verdict.ACCEPT,
-            activity=current,
+            activity=outcome.rewrite(activity, post),
             policy=self.name,
-            action=action,
-            reason=reason,
+            action=outcome.action,
+            reason=outcome.reason,
             modified=True,
         )
+
+
+def _slice_of(post: Post) -> bool:
+    """The ObjectAge slice key: is the stale post publicly visible?"""
+    return post.visibility is Visibility.PUBLIC
+
+
+#: (policy name, threshold, actions) -> interned slice-outcome table.
+_OUTCOME_TABLES: dict[tuple, dict[bool, SliceOutcome]] = {}
+
+
+def _clear_lean_caches() -> None:
+    for table in _OUTCOME_TABLES.values():
+        for outcome in table.values():
+            outcome.lean_cache.clear()
+
+
+on_clear(_clear_lean_caches)

@@ -1,39 +1,234 @@
-"""The ordered MRF policy pipeline run by each instance."""
+"""The ordered MRF policy pipeline run by each instance.
+
+Every policy exposes a declarative :class:`~repro.mrf.base.DecisionPlan`;
+the pipeline compiles the enabled policies' plans into a
+:class:`CompiledPipeline` — a merged trigger table plus, per origin, a
+*batch program* that classifies how much of a single-origin batch's
+decision can be shared:
+
+* ``skip``     — no enabled policy can touch anything from the origin; the
+  whole batch passes untouched without a per-activity loop.
+* ``reject``   — an origin-pure policy rejects everything from the origin;
+  one decision (and one report shape) serves the whole batch.
+* ``stages``   — the only live policies declare content-independent
+  rewrites; the pipeline applies their per-slice outcomes directly,
+  sharing rewritten posts through the rewrite ledger, without running any
+  policy.  A terminal origin-pure reject may follow the stages.
+* ``general``  — anything else runs the classic walk, with per-policy
+  triggers still skipping policies inside the loop.
+
+The uncompiled walk is kept as :meth:`MRFPipeline.filter_uncompiled`, the
+seed-faithful equivalence baseline every fast path is tested against.
+"""
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
-from repro.activitypub.activities import Activity
-from repro.fediverse.post import Post
+from repro.activitypub.activities import Activity, ActivityType
+from repro.fediverse.post import Post, Visibility
+from repro.mrf.shared import _CACHE_LIMIT, mention_count_of
 from repro.mrf.base import (
     PASS_ACTION,
+    DecisionPlan,
     MRFContext,
     MRFDecision,
     MRFPolicy,
     ModerationEvent,
-    PolicyPrecheck,
+    PolicyTriggers,
     Verdict,
 )
-from repro.mrf.simple import SimplePolicy as _SimplePolicy
+
+
+class BatchProgram:
+    """How one pipeline handles a single-origin batch (see module docstring)."""
+
+    __slots__ = ("general", "shared", "stages", "residual", "uniform")
+
+    def __init__(
+        self,
+        general: bool = False,
+        shared: tuple[str, str, str] | None = None,
+        stages: tuple[tuple[str, Any], ...] = (),
+        residual: tuple = (),
+        uniform: bool = False,
+    ) -> None:
+        #: Fall back to the general per-activity walk.
+        self.general = general
+        #: Terminal shared ``(policy, action, reason)`` rejecting everything.
+        self.shared = shared
+        #: ``(policy_name, SharedRewrite)`` stages applied before ``shared``
+        #: (or standing alone when ``shared`` is ``None``).
+        self.stages = stages
+        #: Compiled ``(activity, now) -> bool`` predicates for the live
+        #: entries that could only act per activity (mention floors, content
+        #: columns, type gates …): an activity one fires for takes the full
+        #: policy walk; every other activity is decided by
+        #: ``stages``/``shared`` alone.
+        self.residual = residual
+        #: ``True`` when every activity of the batch provably ends in the
+        #: terminal ``shared`` reject (no stage or residual policy can act
+        #: first), so one report shape serves the whole batch.
+        self.uniform = uniform
+
+
+#: The one immutable "nothing can happen" program, shared across origins.
+_SKIP_PROGRAM = BatchProgram()
+_GENERAL_PROGRAM = BatchProgram(general=True)
+
+#: ActivityType -> value string (a dict probe beats the enum's
+#: DynamicClassAttribute descriptor on the event hot path).
+_TYPE_VALUE: dict[ActivityType, str] = {t: t.value for t in ActivityType}
+
+#: Entries kept per lean-decision cache before FIFO eviction (the shared
+#: rewrite ledger's bound).
+_LEAN_CACHE_LIMIT = _CACHE_LIMIT
+
+
+def _residual_predicate(triggers: PolicyTriggers, local_domain: str):
+    """Compile one residual entry's triggers into a fast ``(activity, now)``
+    predicate.
+
+    Batch programs evaluate residual triggers once per activity; the common
+    shapes (a lone content column set, a mention floor, a media/bot/reply
+    flag, a gated match-all) compile to closures touching only the fields
+    that exist, with the generic :meth:`PolicyTriggers.may_touch` kept as
+    the catch-all.
+    """
+    shapes = (
+        bool(triggers.handles),
+        triggers.max_post_age is not None,
+        bool(triggers.post_visibilities),
+        triggers.min_mentions is not None,
+        triggers.content is not None,
+        triggers.media_posts,
+        triggers.bot_posts,
+        triggers.reply_with_subject,
+    )
+    gated = triggers.activity_types is not None or triggers.local_origin_only
+    origin_sets = bool(triggers.domains or triggers.suffixes or triggers.match_all)
+    single = sum(shapes) == 1 and not gated and not origin_sets
+    if single:
+        if triggers.content is not None:
+            fires = triggers.content.fires
+
+            def content_pred(activity: Activity, now: float) -> bool:
+                obj = activity.obj
+                return obj.__class__ is Post and fires(obj)
+
+            return content_pred
+        if triggers.min_mentions is not None:
+            floor = triggers.min_mentions
+
+            def mention_pred(activity: Activity, now: float) -> bool:
+                obj = activity.obj
+                return obj.__class__ is Post and mention_count_of(obj) >= floor
+
+            return mention_pred
+        if triggers.media_posts:
+
+            def media_pred(activity: Activity, now: float) -> bool:
+                obj = activity.obj
+                return obj.__class__ is Post and bool(obj.attachments)
+
+            return media_pred
+        if triggers.bot_posts:
+
+            def bot_pred(activity: Activity, now: float) -> bool:
+                obj = activity.obj
+                return obj.__class__ is Post and (
+                    obj.is_bot or activity.actor.bot
+                )
+
+            return bot_pred
+        if triggers.reply_with_subject:
+
+            def reply_pred(activity: Activity, now: float) -> bool:
+                obj = activity.obj
+                return (
+                    obj.__class__ is Post
+                    and obj.in_reply_to is not None
+                    and bool(obj.subject)
+                )
+
+            return reply_pred
+        if triggers.max_post_age is not None:
+            cutoff = triggers.max_post_age
+
+            def age_pred(activity: Activity, now: float) -> bool:
+                obj = activity.obj
+                return obj.__class__ is Post and now - obj.created_at > cutoff
+
+            return age_pred
+    if (
+        gated
+        and triggers.match_all
+        and triggers.activity_types is not None
+        and not triggers.local_origin_only
+    ):
+        acting_types = triggers.activity_types
+
+        def type_pred(activity: Activity, now: float) -> bool:
+            return activity.activity_type in acting_types
+
+        return type_pred
+    may_touch = triggers.may_touch
+
+    def generic_pred(activity: Activity, now: float) -> bool:
+        return may_touch(activity, now, local_domain)
+
+    return generic_pred
+
+
+class StageDecision:
+    """A lean stage outcome for report-free delivery.
+
+    Carries everything the counted delivery path reads — the shared
+    decision metadata and the (ledger-shared) rewritten post — without
+    materialising the rewritten activity wrapper a full
+    :class:`~repro.mrf.base.MRFDecision` would require.  Only produced
+    when the caller asks :meth:`MRFPipeline.apply_batch` for lean
+    decisions.
+    """
+
+    __slots__ = ("policy", "action", "reason", "accepted", "modified", "post")
+
+    def __init__(
+        self,
+        policy: str,
+        action: str,
+        reason: str,
+        accepted: bool,
+        modified: bool,
+        post: Post | None,
+    ) -> None:
+        self.policy = policy
+        self.action = action
+        self.reason = reason
+        self.accepted = accepted
+        self.modified = modified
+        self.post = post
 
 
 class CompiledPipeline:
     """The precompiled fast-path table of one pipeline configuration.
 
-    Per-policy prechecks (see :class:`~repro.mrf.base.PolicyPrecheck`) are
-    merged into a single table: the exact-domain sets, wildcard suffixes and
-    post-age cutoffs of all *plain* prechecks collapse into one membership
-    test, while gated prechecks (type- or origin-restricted) are kept as a
-    short list evaluated individually.  When every enabled policy exposes a
-    precheck and none fires, the activity provably passes untouched and the
-    policy loop (and its context construction) is skipped entirely.
+    Per-policy plans (see :class:`~repro.mrf.base.DecisionPlan`) are merged
+    into a single trigger table: the exact-domain sets, wildcard suffixes,
+    post-age cutoffs, mention floors and content columns of all *plain*
+    plans collapse into one membership test, while gated plans (type- or
+    origin-restricted) are kept as a short list evaluated individually.
+    When every enabled policy exposes a plan and no trigger fires, the
+    activity provably passes untouched and the policy loop (and its context
+    construction) is skipped entirely.  Per-origin :class:`BatchProgram`\\ s
+    are derived (and cached) on top for the batched delivery engine.
     """
 
     __slots__ = (
         "entries",
+        "plans",
         "versions",
-        "fully_prechecked",
+        "fully_planned",
         "never_acts",
         "domains",
         "suffixes",
@@ -41,78 +236,125 @@ class CompiledPipeline:
         "match_all",
         "min_post_age",
         "visibilities",
+        "min_mentions",
+        "content_triggers",
+        "media_posts",
+        "bot_posts",
+        "reply_with_subject",
         "special",
-        "head_simple",
+        "_programs",
+        "_default_program",
+        "_default_ok",
     )
 
     def __init__(self, policies: Sequence[MRFPolicy]) -> None:
-        entries: list[tuple[MRFPolicy, PolicyPrecheck | None]] = []
+        entries: list[tuple[MRFPolicy, PolicyTriggers | None]] = []
+        plans: list[tuple[MRFPolicy, DecisionPlan | None]] = []
         domains: set[str] = set()
         suffixes: set[str] = set()
         handles: set[str] = set()
         visibilities: set = set()
-        special: list[PolicyPrecheck] = []
+        content_triggers: list = []
+        special: list[PolicyTriggers] = []
         match_all = False
         min_post_age: float | None = None
-        fully_prechecked = True
+        min_mentions: int | None = None
+        media_posts = False
+        bot_posts = False
+        reply_with_subject = False
+        fully_planned = True
+        default_ok = True
         for policy in policies:
-            pre = policy.precheck()
-            if pre is None:
-                entries.append((policy, pre))
-                fully_prechecked = False
+            plan = policy.plan()
+            if plan is None:
+                entries.append((policy, None))
+                plans.append((policy, None))
+                fully_planned = False
                 continue
-            if (
-                not pre.match_all
-                and not pre.domains
-                and not pre.suffixes
-                and not pre.handles
-                and not pre.post_visibilities
-                and pre.max_post_age is None
-            ):
+            triggers = plan.triggers
+            per_activity = bool(
+                triggers.handles
+                or triggers.max_post_age is not None
+                or triggers.post_visibilities
+                or triggers.min_mentions is not None
+                or triggers.content is not None
+                or triggers.media_posts
+                or triggers.bot_posts
+                or triggers.reply_with_subject
+            )
+            gated = (
+                triggers.activity_types is not None or triggers.local_origin_only
+            )
+            # The default batch program (see program_for) is only sound when
+            # liveness and origin-pure outcomes are origin-independent for
+            # every origin the merged table misses: a gated entry's origin
+            # sets are not merged, and an origin-pure hook reachable through
+            # per-activity triggers could fire for unmerged origins.
+            if gated and (triggers.domains or triggers.suffixes):
+                default_ok = False
+            if plan.origin_pure is not None and per_activity:
+                default_ok = False
+            if triggers.never_fires:
                 # The policy provably never acts (NoOpPolicy, an empty
-                # TagPolicy, a behaviour-less CustomPolicy): drop it from the
-                # walk entirely instead of re-skipping it per activity.
+                # TagPolicy, a behaviour-less CustomPolicy): drop it from
+                # the walk entirely instead of re-skipping it per activity.
                 continue
-            entries.append((policy, pre))
-            if pre.activity_types is not None or pre.local_origin_only:
-                special.append(pre)
+            entries.append((policy, triggers))
+            plans.append((policy, plan))
+            if triggers.activity_types is not None or triggers.local_origin_only:
+                special.append(triggers)
                 continue
-            if pre.match_all:
+            if triggers.match_all:
                 match_all = True
-            domains.update(pre.domains)
-            suffixes.update(pre.suffixes)
-            handles.update(pre.handles)
-            visibilities.update(pre.post_visibilities)
-            if pre.max_post_age is not None:
-                if min_post_age is None or pre.max_post_age < min_post_age:
-                    min_post_age = pre.max_post_age
+            domains.update(triggers.domains)
+            suffixes.update(triggers.suffixes)
+            handles.update(triggers.handles)
+            visibilities.update(triggers.post_visibilities)
+            if triggers.max_post_age is not None:
+                if min_post_age is None or triggers.max_post_age < min_post_age:
+                    min_post_age = triggers.max_post_age
+            if triggers.min_mentions is not None:
+                if min_mentions is None or triggers.min_mentions < min_mentions:
+                    min_mentions = triggers.min_mentions
+            if triggers.content is not None:
+                content_triggers.append(triggers.content)
+            media_posts = media_posts or triggers.media_posts
+            bot_posts = bot_posts or triggers.bot_posts
+            reply_with_subject = reply_with_subject or triggers.reply_with_subject
         self.entries = tuple(entries)
+        self.plans = tuple(plans)
         self.versions = tuple(policy.config_version for policy in policies)
-        self.fully_prechecked = fully_prechecked
+        self.fully_planned = fully_planned
         self.domains = frozenset(domains)
         self.suffixes = tuple(suffixes)
         self.handles = frozenset(handles)
         self.match_all = match_all
         self.min_post_age = min_post_age
         self.visibilities = frozenset(visibilities)
+        self.min_mentions = min_mentions
+        self.content_triggers = tuple(content_triggers)
+        self.media_posts = media_posts
+        self.bot_posts = bot_posts
+        self.reply_with_subject = reply_with_subject
         self.special = tuple(special)
         # With every (non-trivial) entry gone, no enabled policy can ever
         # act: the whole pipeline is a provable no-op and batches skip even
         # the per-activity membership checks.
-        self.never_acts = fully_prechecked and not self.entries
-        # When the first surviving entry is a SimplePolicy, its origin-pure
-        # rejects (the reject action and the accept-list gate) short-circuit
-        # the rest of the walk for every activity of that origin — the
-        # batched delivery engine shares one such decision per batch.
-        head = entries[0][0] if entries else None
-        self.head_simple = head if isinstance(head, _SimplePolicy) else None
+        self.never_acts = fully_planned and not self.entries
+        #: origin -> BatchProgram, filled lazily (compiles are per-config,
+        #: so the cache can never go stale).
+        self._programs: dict[str, BatchProgram] = {}
+        #: The program shared by every origin missing the merged origin
+        #: sets, built on first use (see :meth:`program_for`).
+        self._default_program: BatchProgram | None = None
+        self._default_ok = default_ok
 
     def origin_may_trigger(self, origin: str) -> bool:
         """The origin-dependent half of :meth:`may_any_touch`.
 
         Batches share their origin, so callers evaluate this once per batch
-        and only run the per-activity residual (handles/post-age/gated
-        prechecks) in the loop.
+        and only run the per-activity residual (handles/content/gated
+        triggers) in the loop.
         """
         if self.match_all:
             return True
@@ -129,44 +371,154 @@ class CompiledPipeline:
         """The per-activity half of :meth:`may_any_touch`."""
         if self.handles and activity.actor.handle.lower() in self.handles:
             return True
-        if self.min_post_age is not None or self.visibilities:
-            obj = activity.obj
-            if obj.__class__ is Post:
-                if (
-                    self.min_post_age is not None
-                    and now - obj.created_at > self.min_post_age
-                ):
+        obj = activity.obj
+        if obj.__class__ is Post:
+            if (
+                self.min_post_age is not None
+                and now - obj.created_at > self.min_post_age
+            ):
+                return True
+            if self.visibilities and obj.visibility in self.visibilities:
+                return True
+            if (
+                self.min_mentions is not None
+                and mention_count_of(obj) >= self.min_mentions
+            ):
+                return True
+            if self.media_posts and obj.attachments:
+                return True
+            if self.bot_posts and (obj.is_bot or activity.actor.bot):
+                return True
+            if (
+                self.reply_with_subject
+                and obj.in_reply_to is not None
+                and obj.subject
+            ):
+                return True
+            for trigger in self.content_triggers:
+                if trigger.fires(obj):
                     return True
-                if self.visibilities and obj.visibility in self.visibilities:
-                    return True
-        for pre in self.special:
-            if pre.may_touch(activity, now, local_domain):
+        for triggers in self.special:
+            if triggers.may_touch(activity, now, local_domain):
                 return True
         return False
-
-    def batch_reject_for(self, origin: str, local_domain: str) -> tuple[str, str, str] | None:
-        """Return the shared ``(policy, action, reason)`` rejecting every
-        activity from ``origin``, or ``None``.
-
-        Non-``None`` only when the head entry is a SimplePolicy whose
-        origin-pure checks fire — those short-circuit before any other
-        policy (or any per-activity state) can matter, so one decision is
-        provably valid for a whole single-origin batch.
-        """
-        head = self.head_simple
-        if head is None:
-            return None
-        hit = head.unconditional_reject(origin, local_domain)
-        if hit is None:
-            return None
-        action, reason = hit
-        return (head.name, action, reason)
 
     def may_any_touch(self, activity: Activity, now: float, local_domain: str) -> bool:
         """Return ``True`` when any enabled policy could act on ``activity``."""
         return self.origin_may_trigger(
             activity.origin_domain
         ) or self.residual_may_touch(activity, now, local_domain)
+
+    # ------------------------------------------------------------------ #
+    # Per-origin batch programs
+    # ------------------------------------------------------------------ #
+    def program_for(self, origin: str, local_domain: str) -> BatchProgram:
+        """Return (building and caching once) the origin's batch program.
+
+        Programs depend on the origin only through the origin-dependent
+        trigger sets and the origin-pure hooks, both of which can only fire
+        when the merged origin table fires — so every origin missing that
+        table shares one *default* program and skips the per-origin build
+        entirely (the overwhelmingly common case: most origins are
+        unmoderated by most pipelines).
+        """
+        if self._default_ok and not self.origin_may_trigger(origin):
+            program = self._default_program
+            if program is None:
+                program = self._build_program(origin, local_domain)
+                self._default_program = program
+            return program
+        program = self._programs.get(origin)
+        if program is None:
+            program = self._build_program(origin, local_domain)
+            self._programs[origin] = program
+        return program
+
+    def _build_program(self, origin: str, local_domain: str) -> BatchProgram:
+        """Classify how a single-origin batch can be decided.
+
+        Walks the enabled entries in order.  Entries that provably cannot
+        act on anything from ``origin`` are stepped over.  A live entry
+        whose plan is origin-pure and whose hook fires ends the walk with a
+        terminal shared reject (everything after it is unreachable); one
+        whose hook stays silent may still rewrite per activity, so the
+        batch is general.  A live entry declaring a content-independent
+        rewrite becomes a stage.  Every other live entry either affects the
+        whole batch (its origin-level trigger fires ungated — general) or
+        only activities its per-activity triggers select — those triggers
+        become the program's *residual*: an activity none of them fires for
+        is provably decided by the stages/terminal alone, everything else
+        takes the full walk.
+        """
+        stages: list[tuple[str, Any]] = []
+        residual: list[PolicyTriggers] = []
+        shared: tuple[str, str, str] | None = None
+        local = local_domain
+        for policy, plan in self.plans:
+            if plan is None:
+                return _GENERAL_PROGRAM
+            triggers = plan.triggers
+            if not triggers.could_act_for(origin):
+                continue
+            ungated = (
+                triggers.activity_types is None and not triggers.local_origin_only
+            )
+            if plan.origin_pure is not None:
+                hit = plan.origin_pure(origin, local_domain)
+                if hit is not None:
+                    shared = (policy.name, hit[0], hit[1])
+                    break
+                # Live without an unconditional reject: the policy may
+                # still act per activity (e.g. SimplePolicy rewrites).
+                return _GENERAL_PROGRAM
+            rewrite = plan.shared_rewrite
+            if rewrite is not None and ungated:
+                stages.append((policy.name, rewrite))
+                continue
+            if ungated and triggers.origin_fires(origin):
+                # Every activity of the batch could be touched (match_all
+                # stateful policies, matched origin triggers): nothing to
+                # share.
+                return _GENERAL_PROGRAM
+            residual.append(triggers)
+        if shared is None and not stages and not residual:
+            return _SKIP_PROGRAM
+        if stages and any(
+            Visibility.UNLISTED in triggers.post_visibilities
+            for triggers in residual
+        ):
+            # A stage rewrite may delist a post; a residual trigger reading
+            # the UNLISTED visibility could then fire on the rewritten
+            # activity though it did not on the original.  No shipped
+            # policy triggers on UNLISTED — but an authored one must fall
+            # back to the walk.
+            return _GENERAL_PROGRAM
+        # A reject-capable stage (e.g. ObjectAge's "reject" action) or a
+        # residual policy can end an activity before the terminal shared
+        # reject does, so the batch's reports are only uniform when stages
+        # are pure rewrites and no residual policies exist.  Uniform mode
+        # also skips materialising the rewritten activities (only their
+        # events matter), which is sound only while no *later* stage could
+        # classify the rewritten post differently — so it is limited to a
+        # single stage.
+        stage_can_reject = any(
+            outcome.reject
+            for _, rewrite in stages
+            for outcome in rewrite.outcomes.values()
+        )
+        return BatchProgram(
+            shared=shared,
+            stages=tuple(stages),
+            residual=tuple(
+                _residual_predicate(triggers, local) for triggers in residual
+            ),
+            uniform=(
+                shared is not None
+                and not stage_can_reject
+                and not residual
+                and len(stages) <= 1
+            ),
+        )
 
 
 class MRFPipeline:
@@ -177,10 +529,12 @@ class MRFPipeline:
     before it.  Every reject or rewrite is logged as a
     :class:`~repro.mrf.base.ModerationEvent`.
 
-    Filtering runs through a precompiled fast path: per-policy prechecks are
-    merged into a :class:`CompiledPipeline` so activities no policy can touch
-    skip the Python loop entirely, and policies that provably cannot act on
-    an activity are skipped inside the loop.  The uncompiled walk is kept as
+    Filtering runs through a precompiled fast path: per-policy decision
+    plans are merged into a :class:`CompiledPipeline` so activities no
+    policy can touch skip the Python loop entirely, policies that provably
+    cannot act on an activity are skipped inside the loop, and single-origin
+    batches share whole decisions (rejects *and* content-independent
+    rewrites) through :meth:`apply_batch`.  The uncompiled walk is kept as
     :meth:`filter_uncompiled`, the equivalence baseline.
     """
 
@@ -284,7 +638,7 @@ class MRFPipeline:
     def filter(self, activity: Activity, now: float) -> MRFDecision:
         """Run ``activity`` through the pipeline and return the final decision."""
         compiled = self.compiled()
-        if compiled.fully_prechecked and not compiled.may_any_touch(
+        if compiled.fully_planned and not compiled.may_any_touch(
             activity, now, self.local_domain
         ):
             return MRFDecision(verdict=Verdict.ACCEPT, activity=activity)
@@ -332,8 +686,8 @@ class MRFPipeline:
             activities = list(activities)
         if compiled.never_acts:
             return [None] * len(activities)
-        fast = compiled.fully_prechecked
-        # A fully-prechecked single-entry pipeline needs no policy walk: the
+        fast = compiled.fully_planned
+        # A fully-planned single-entry pipeline needs no policy walk: the
         # merged table firing already identifies the one policy to run.
         single = fast and len(compiled.entries) == 1
         single_policy = compiled.entries[0][0] if single else None
@@ -348,7 +702,20 @@ class MRFPipeline:
         special = compiled.special
         residual = compiled.residual_may_touch
         plain_residual = not handles and not special
-        content_blind = min_post_age is None and not visibilities
+        # The inlined branch below only understands the age/visibility
+        # triggers; content-shaped triggers (mentions, columns, media, bot,
+        # reply) drop to the generic residual call.
+        simple_content = (
+            compiled.min_mentions is None
+            and not compiled.content_triggers
+            and not compiled.media_posts
+            and not compiled.bot_posts
+            and not compiled.reply_with_subject
+        )
+        inline_residual = plain_residual and simple_content
+        content_blind = (
+            inline_residual and min_post_age is None and not visibilities
+        )
         ctx: MRFContext | None = None
         decisions: list[MRFDecision | None] = []
         append = decisions.append
@@ -360,10 +727,10 @@ class MRFPipeline:
                     triggered = origin_may_trigger(origin)
                     origin_triggers[origin] = triggered
                 if not triggered:
-                    if plain_residual:
-                        if content_blind:
-                            append(None)
-                            continue
+                    if content_blind:
+                        append(None)
+                        continue
+                    if inline_residual:
                         obj = activity.obj
                         if obj.__class__ is not Post or not (
                             (
@@ -389,40 +756,327 @@ class MRFPipeline:
                 append(self._run(activity, ctx, compiled))
         return decisions
 
-    def batch_reject(
-        self, activities: Sequence[Activity], origin: str, now: float
-    ) -> tuple[str, str, str] | None:
-        """Shared-decision fast path for a single-origin batch.
+    # ------------------------------------------------------------------ #
+    # Batched shared decisions (the delivery engine's entry point)
+    # ------------------------------------------------------------------ #
+    def apply_batch(
+        self,
+        activities: Sequence[Activity],
+        origin: str,
+        now: float,
+        lean: bool = False,
+    ) -> tuple[tuple[str, str, str] | None, list | None, int]:
+        """Decide a whole single-origin batch, sharing what the plans allow.
 
-        When the head SimplePolicy rejects everything from ``origin``
-        unconditionally, log one :class:`~repro.mrf.base.ModerationEvent`
-        per activity — exactly what running :meth:`filter` per activity
-        would have recorded — and return the shared
-        ``(policy, action, reason)``; the caller then skips the
-        per-activity filtering loop entirely.  ``None`` means no shared
-        decision applies and the batch must be filtered normally.
+        Returns ``(shared, decisions, shared_rewrites)``:
+
+        * ``shared`` — a ``(policy, action, reason)`` rejecting *every*
+          activity of the batch (``decisions`` is then ``None``); the
+          per-activity moderation events are already logged, exactly as
+          running :meth:`filter` per activity would have recorded them.
+        * ``decisions`` — otherwise, one entry per activity as in
+          :meth:`filter_batch_lazy` (``None`` = untouched accept).  With
+          ``lean=True`` (the report-free delivery path), stage-decided
+          activities yield :class:`StageDecision` objects carrying the
+          rewritten *post* instead of a full decision with a rewritten
+          activity wrapper.
+        * ``shared_rewrites`` — how many activities had a rewrite decision
+          applied through a shared (content-independent) stage rather than
+          a policy run.
+
+        ``origin`` must be the normalised origin of every activity in the
+        batch, as activity origins are.
         """
-        shared = self.compiled().batch_reject_for(origin, self.local_domain)
-        if shared is None:
-            return None
+        compiled = self.compiled()
+        program = compiled.program_for(origin, self.local_domain)
+        if program.general:
+            return (None, self.filter_batch_lazy(activities, now), 0)
+        shared = program.shared
+        if not program.stages and not program.residual:
+            if shared is None:  # nothing can touch this origin's batch
+                return (None, [None] * len(activities), 0)
+            self._log_shared(activities, origin, shared, now)
+            return (shared, None, 0)
+        return self._run_stages(activities, origin, compiled, program, now, lean)
+
+    @staticmethod
+    def _lean_decision(policy_name: str, outcome, post: Post) -> StageDecision:
+        """Return the (interned) lean decision of one stage outcome.
+
+        Reject outcomes are constant per outcome; accept outcomes are
+        constant per (outcome, post) — the rewritten post comes out of the
+        shared ledger — so the decision objects themselves are shared
+        across every receiver a post federates to.
+        """
+        cache = outcome.lean_cache
+        if outcome.reject:
+            decision = cache.get(None)
+            if decision is None:
+                decision = StageDecision(
+                    policy_name, outcome.action, outcome.reason, False, False, None
+                )
+                cache[None] = decision
+            return decision
+        key = id(post)
+        entry = cache.get(key)
+        if entry is not None and entry[0] is post:
+            return entry[1]
+        if len(cache) >= _LEAN_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        decision = StageDecision(
+            policy_name,
+            outcome.action,
+            outcome.reason,
+            True,
+            True,
+            outcome.rewrite_post(post),
+        )
+        cache[key] = (post, decision)
+        return decision
+
+    def _log_shared(
+        self,
+        activities: Sequence[Activity],
+        origin: str,
+        shared: tuple[str, str, str],
+        now: float,
+        accepted: bool = False,
+    ) -> None:
+        """Log one moderation event per activity for a shared decision."""
         policy, action, reason = shared
-        local_domain = self.local_domain
+        base = {
+            "timestamp": now,
+            "moderating_domain": self.local_domain,
+            "origin_domain": origin,
+            "policy": policy,
+            "action": action,
+            "accepted": accepted,
+            "reason": reason,
+        }
+        type_value = _TYPE_VALUE
         append = self.events.append
         for activity in activities:
             event = object.__new__(ModerationEvent)
-            event.__dict__.update(
-                timestamp=now,
-                moderating_domain=local_domain,
-                origin_domain=origin,
-                policy=policy,
-                action=action,
-                activity_type=activity.activity_type.value,
-                activity_id=activity.activity_id,
-                accepted=False,
-                reason=reason,
-            )
+            state = dict(base)
+            state["activity_type"] = type_value[activity.activity_type]
+            state["activity_id"] = activity.activity_id
+            event.__dict__.update(state)
             append(event)
-        return shared
+
+    def _run_stages(
+        self,
+        activities: Sequence[Activity],
+        origin: str,
+        compiled: CompiledPipeline,
+        program: BatchProgram,
+        now: float,
+        lean: bool,
+    ) -> tuple[tuple[str, str, str] | None, list | None, int]:
+        """Apply content-independent rewrite stages (plus a terminal shared
+        reject, when present) to a single-origin batch.
+
+        Per activity and stage, the age selector and slice classifier
+        reproduce exactly what the policy's ``filter`` would have decided —
+        that is the :class:`~repro.mrf.base.SharedRewrite` contract — so
+        events and decisions are indistinguishable from the walked path,
+        while the decision metadata is shared and rewritten posts come out
+        of the shared ledger.  Activities a residual trigger fires for take
+        the full policy walk instead.  In ``uniform`` mode (pure-rewrite
+        stages before a terminal shared reject, no residual) the rewritten
+        activities are unobservable — only their events are logged — and
+        one report shape serves the whole batch.
+        """
+        stages = program.stages
+        residual = program.residual
+        shared = program.shared
+        uniform = program.uniform
+        local_domain = self.local_domain
+        events_append = self.events.append
+        rewrites = 0
+        if (
+            len(stages) == 1
+            and not residual
+            and shared is None
+            and not uniform
+        ):
+            # The dominant program (a lone ObjectAge-style stage): one
+            # hoisted loop, no per-stage dispatch.
+            policy_name, rewrite = stages[0]
+            threshold = rewrite.age_threshold
+            outcomes = rewrite.outcomes
+            slice_of = rewrite.slice_of
+            type_value = _TYPE_VALUE
+            decisions: list = []
+            append = decisions.append
+            for activity in activities:
+                obj = activity.obj
+                if (
+                    obj.__class__ is not Post
+                    or now - obj.created_at <= threshold
+                ):
+                    append(None)
+                    continue
+                outcome = outcomes.get(slice_of(obj))
+                if outcome is None:
+                    append(None)
+                    continue
+                rewrites += 1
+                event = object.__new__(ModerationEvent)
+                event.__dict__.update(
+                    timestamp=now,
+                    moderating_domain=local_domain,
+                    origin_domain=origin,
+                    policy=policy_name,
+                    action=outcome.action,
+                    activity_type=type_value[activity.activity_type],
+                    activity_id=activity.activity_id,
+                    accepted=not outcome.reject,
+                    reason=outcome.reason,
+                )
+                events_append(event)
+                if lean:
+                    append(self._lean_decision(policy_name, outcome, obj))
+                elif outcome.reject:
+                    append(
+                        MRFDecision(
+                            verdict=Verdict.REJECT,
+                            activity=activity,
+                            policy=policy_name,
+                            action=outcome.action,
+                            reason=outcome.reason,
+                        )
+                    )
+                else:
+                    append(
+                        MRFDecision(
+                            verdict=Verdict.ACCEPT,
+                            activity=outcome.rewrite(activity, obj),
+                            policy=policy_name,
+                            action=outcome.action,
+                            reason=outcome.reason,
+                            modified=True,
+                        )
+                    )
+            return (None, decisions, rewrites)
+
+        type_value = _TYPE_VALUE
+        decisions = None if uniform else []
+        ctx: MRFContext | None = None
+        for activity in activities:
+            if residual:
+                fired = False
+                for predicate in residual:
+                    if predicate(activity, now):
+                        fired = True
+                        break
+                if fired:
+                    # A per-activity policy could act: this activity takes
+                    # the full walk (which runs the stage policies too).
+                    if ctx is None:
+                        ctx = MRFContext(
+                            local_domain=local_domain,
+                            now=now,
+                            local_instance=self.local_instance,
+                        )
+                    decisions.append(self._run(activity, ctx, compiled))
+                    continue
+            obj = activity.obj
+            current_post = obj if obj.__class__ is Post else None
+            current = activity
+            acting = None
+            for policy_name, rewrite in stages:
+                if (
+                    current_post is None
+                    or now - current_post.created_at <= rewrite.age_threshold
+                ):
+                    continue
+                outcome = rewrite.outcomes.get(rewrite.slice_of(current_post))
+                if outcome is None:
+                    continue
+                rewrites += 1
+                event = object.__new__(ModerationEvent)
+                event.__dict__.update(
+                    timestamp=now,
+                    moderating_domain=local_domain,
+                    origin_domain=origin,
+                    policy=policy_name,
+                    action=outcome.action,
+                    activity_type=type_value[activity.activity_type],
+                    activity_id=activity.activity_id,
+                    accepted=not outcome.reject,
+                    reason=outcome.reason,
+                )
+                events_append(event)
+                if outcome.reject:
+                    if lean:
+                        acting = self._lean_decision(
+                            policy_name, outcome, current_post
+                        )
+                    else:
+                        acting = MRFDecision(
+                            verdict=Verdict.REJECT,
+                            activity=current,
+                            policy=policy_name,
+                            action=outcome.action,
+                            reason=outcome.reason,
+                        )
+                    break
+                if uniform:
+                    # The batch ends in a shared reject: the rewritten
+                    # activity is unobservable, only its event matters.
+                    continue
+                if lean:
+                    acting = self._lean_decision(policy_name, outcome, current_post)
+                    current_post = acting.post
+                else:
+                    current = outcome.rewrite(current, current_post)
+                    current_post = current.obj
+                    acting = MRFDecision(
+                        verdict=Verdict.ACCEPT,
+                        activity=current,
+                        policy=policy_name,
+                        action=outcome.action,
+                        reason=outcome.reason,
+                        modified=True,
+                    )
+            if acting is not None and not acting.accepted:
+                decisions.append(acting)
+                continue
+            if shared is not None:
+                policy, action, reason = shared
+                event = object.__new__(ModerationEvent)
+                event.__dict__.update(
+                    timestamp=now,
+                    moderating_domain=local_domain,
+                    origin_domain=origin,
+                    policy=policy,
+                    action=action,
+                    activity_type=type_value[activity.activity_type],
+                    activity_id=activity.activity_id,
+                    accepted=False,
+                    reason=reason,
+                )
+                events_append(event)
+                if not uniform:
+                    if lean:
+                        decisions.append(
+                            StageDecision(policy, action, reason, False, False, None)
+                        )
+                    else:
+                        decisions.append(
+                            MRFDecision(
+                                verdict=Verdict.REJECT,
+                                activity=current,
+                                policy=policy,
+                                action=action,
+                                reason=reason,
+                            )
+                        )
+                continue
+            decisions.append(acting)
+        if uniform:
+            return (shared, None, rewrites)
+        return (None, decisions, rewrites)
 
     def _run(
         self, activity: Activity, ctx: MRFContext, compiled: CompiledPipeline
@@ -437,8 +1091,10 @@ class MRFPipeline:
         now = ctx.now
         local_domain = ctx.local_domain
 
-        for policy, pre in compiled.entries:
-            if pre is not None and not pre.may_touch(current, now, local_domain):
+        for policy, triggers in compiled.entries:
+            if triggers is not None and not triggers.may_touch(
+                current, now, local_domain
+            ):
                 continue
             decision = policy.filter(current, ctx)
             if decision.rejected:
@@ -471,7 +1127,7 @@ class MRFPipeline:
         self, activity: Activity, ctx: MRFContext, policy: MRFPolicy
     ) -> MRFDecision | None:
         """:meth:`_run` specialised for a one-entry compiled pipeline whose
-        merged precheck already fired — the policy runs unconditionally."""
+        merged trigger table already fired — the policy runs unconditionally."""
         decision = policy.filter(activity, ctx)
         if decision.rejected:
             self._log(decision, ctx, activity)
@@ -544,7 +1200,7 @@ class MRFPipeline:
             origin_domain=original.origin_domain,
             policy=decision.policy,
             action=decision.action,
-            activity_type=original.activity_type.value,
+            activity_type=_TYPE_VALUE[original.activity_type],
             activity_id=original.activity_id,
             accepted=decision.accepted,
             reason=decision.reason,

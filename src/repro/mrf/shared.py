@@ -1,0 +1,272 @@
+"""Shared decision services backing the MRF plan API.
+
+Decision plans (see :class:`repro.mrf.base.DecisionPlan`) describe *what*
+a policy's triggers and rewrites depend on; this module provides the shared
+state that makes evaluating them cheap across an entire fediverse:
+
+* :class:`TriggerColumns` — interned per-post hit columns for one content
+  trigger term set, computed once per distinct post no matter how many
+  receiving pipelines ask.  Token-shaped sets ride the compiled
+  ``(token_count, hit_vector)`` corpus-column engine from
+  :mod:`repro.perspective.matcher`; literal (substring) sets use an
+  unanchored trie scan.  Columns are obtained through
+  :func:`shared_trigger_columns` so every policy with the same term set
+  shares one store; a policy that mutates its patterns bumps its
+  ``config_version``, the owning pipeline recompiles, and the rebuilt plan
+  keys a different (or freshly valid) column store — the column version
+  stamp that keeps stale hit vectors out of decisions.
+* :func:`mention_count_of` — interned distinct-mention counts, the
+  arithmetic behind the Hellthread mention-count trigger.
+* :func:`rewrite_ledger` — the rewrite ledger: one content-independent
+  rewrite (e.g. the ObjectAge delist of a stale post) is applied once per
+  (recipe, post) and the rewritten post is shared by every receiver it
+  federates to.  This replaces the private module cache ObjectAgePolicy
+  used to keep.
+
+All caches key by ``id(post)`` and keep the original post referenced (so
+an id can never be recycled while its entry lives), with amortised FIFO
+eviction bounding long-lived engines.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Iterable
+
+from repro.fediverse.post import Post
+from repro.perspective.matcher import CompiledLexiconMatcher, _trie_pattern
+
+#: Entries kept per cache before amortised FIFO eviction kicks in.
+_CACHE_LIMIT = 200_000
+
+#: Characters a term may consist of to ride the token-anchored corpus
+#: matcher (the tokeniser alphabet minus the apostrophe, which the scan
+#: neutralises — see :meth:`TriggerColumns.hit`).
+_TOKEN_TERM_RE = re.compile(r"[a-z0-9]+\Z")
+
+
+class TriggerColumns:
+    """Interned boolean hit columns for one content trigger term set.
+
+    ``anchored=True`` compiles the terms into the corpus-column engine
+    (token-boundary semantics: a term hits iff it appears as a whole
+    token); ``anchored=False`` compiles an unanchored trie alternation
+    over the literal terms (substring semantics, matching what
+    ``re.search`` over a literal pattern would find).  ``with_subject``
+    selects whether the scanned text includes the post subject line.
+
+    Either way the column of a post is computed once and cached by post
+    identity, so re-deliveries of the same post to other instances — the
+    overwhelming majority of federation traffic — are one dict hit.
+    """
+
+    __slots__ = (
+        "terms",
+        "anchored",
+        "with_subject",
+        "ignorecase",
+        "_matcher",
+        "_pattern",
+        "_cache",
+    )
+
+    def __init__(
+        self,
+        terms: frozenset[str],
+        *,
+        anchored: bool,
+        with_subject: bool,
+        ignorecase: bool = False,
+    ) -> None:
+        self.terms = terms
+        self.anchored = anchored
+        self.with_subject = with_subject
+        #: ``True`` when the guarded policy matches case-insensitively (the
+        #: KeywordPolicy's ``re.IGNORECASE``): over ASCII text, lowering is
+        #: exactly Unicode-aware case-insensitivity, but characters like
+        #: U+017F (long s) casefold into ASCII letters ``lower()`` never
+        #: produces — so non-ASCII texts conservatively count as hits and
+        #: the policy runs.
+        self.ignorecase = ignorecase
+        if anchored:
+            #: Width-1 corpus columns: every term weighs 1.0 on the single
+            #: "attribute"; a post's hit vector is its term-hit count.
+            self._matcher = CompiledLexiconMatcher(
+                {term: (1.0,) for term in terms}, 1
+            )
+            self._pattern = None
+        else:
+            self._matcher = None
+            ordered = sorted(terms)
+            self._pattern = (
+                re.compile(_trie_pattern(ordered)) if ordered else None
+            )
+        self._cache: dict[int, tuple[Post, bool]] = {}
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def _text_of(self, post: Post) -> str:
+        if self.with_subject:
+            return f"{post.subject or ''} {post.content}"
+        return post.content
+
+    def _scan(self, post: Post) -> bool:
+        text = self._text_of(post)
+        if not text.isascii() and (self.ignorecase or self.anchored):
+            # Conservative fallback, checked on the *raw* text (lowering
+            # can map non-ASCII characters into ASCII — U+212A KELVIN SIGN
+            # lowers to 'k'): ``lower()`` diverges from Unicode
+            # case-insensitive matching (``ignorecase``), and a non-ASCII
+            # neighbour lowering into the token alphabet destroys the
+            # boundary an anchored scan relies on — so non-ASCII texts
+            # always run the policy.  Plain ASCII-literal substring scans
+            # are unaffected: ASCII characters lower 1:1, so the literal's
+            # presence is preserved exactly.
+            return True
+        lowered = text.lower()
+        if self._matcher is not None:
+            # The hashtag alphabet ([A-Za-z0-9_]) and the token alphabet
+            # ([a-z0-9']) disagree on the apostrophe: "#nsfw's" carries the
+            # hashtag "nsfw" yet tokenises as "nsfw's".  Neutralising
+            # apostrophes restores the boundary, and cannot hide a hit
+            # because no anchored term contains one (see
+            # shared_trigger_columns).
+            if "'" in lowered:
+                lowered = lowered.replace("'", " ")
+            return self._matcher.hits(lowered) is not None
+        if self._pattern is None:
+            return False
+        return self._pattern.search(lowered) is not None
+
+    def hit(self, post: Post) -> bool:
+        """Return (computing and interning once) the post's hit column."""
+        cache = self._cache
+        key = id(post)
+        entry = cache.get(key)
+        if entry is not None and entry[0] is post:
+            return entry[1]
+        if len(cache) >= _CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        hit = self._scan(post)
+        cache[key] = (post, hit)
+        return hit
+
+
+#: (anchored, with_subject, ignorecase, terms) -> the shared column store.
+_COLUMNS: dict[tuple[bool, bool, bool, frozenset[str]], TriggerColumns] = {}
+
+
+def token_terms(terms: Iterable[str]) -> frozenset[str] | None:
+    """Return ``terms`` as a token-anchored set, or ``None`` when unsafe.
+
+    A term set rides the corpus-column engine only when every term is one
+    plain token (lower-case letters and digits); anything else — phrases,
+    underscores, regex fragments — needs substring semantics.
+    """
+    collected = frozenset(terms)
+    if all(_TOKEN_TERM_RE.match(term) for term in collected):
+        return collected
+    return None
+
+
+def shared_trigger_columns(
+    terms: Iterable[str],
+    *,
+    anchored: bool,
+    with_subject: bool = False,
+    ignorecase: bool = False,
+) -> TriggerColumns:
+    """Return the shared :class:`TriggerColumns` for ``terms``.
+
+    Policies with identical term sets (every HashtagPolicy running the
+    default tag list, say) get the *same* store, so a federated post is
+    scanned once for all of them.
+    """
+    key = (anchored, with_subject, ignorecase, frozenset(terms))
+    columns = _COLUMNS.get(key)
+    if columns is None:
+        columns = TriggerColumns(
+            key[3],
+            anchored=anchored,
+            with_subject=with_subject,
+            ignorecase=ignorecase,
+        )
+        _COLUMNS[key] = columns
+    return columns
+
+
+# --------------------------------------------------------------------------- #
+# Mention-count columns
+# --------------------------------------------------------------------------- #
+_MENTIONS: dict[int, tuple[Post, int]] = {}
+
+
+def mention_count_of(post: Post) -> int:
+    """Return (interning once) the distinct mention count of ``post``.
+
+    The arithmetic behind the Hellthread mention-count trigger: the
+    mention regex runs once per distinct post instead of once per
+    (post, receiving pipeline) pair.
+    """
+    key = id(post)
+    entry = _MENTIONS.get(key)
+    if entry is not None and entry[0] is post:
+        return entry[1]
+    if len(_MENTIONS) >= _CACHE_LIMIT:
+        _MENTIONS.pop(next(iter(_MENTIONS)))
+    count = post.mention_count
+    _MENTIONS[key] = (post, count)
+    return count
+
+
+# --------------------------------------------------------------------------- #
+# The shared rewrite ledger
+# --------------------------------------------------------------------------- #
+#: recipe -> {id(post) -> (post, rewritten post)}.  Each distinct recipe
+#: (e.g. an ObjectAge action tuple) gets one interned cache, so every policy
+#: applying the same transformation shares rewritten copies across the whole
+#: fediverse.
+_REWRITES: dict[Any, dict[int, tuple[Post, Post]]] = {}
+
+
+def rewrite_ledger(recipe: Any) -> dict[int, tuple[Post, Post]]:
+    """Return the shared per-recipe ledger ``{id(post): (post, rewritten)}``.
+
+    Policies resolve the ledger once when compiling their plan and probe it
+    by post identity on the hot path; the original post is kept referenced
+    so its id can never be recycled while the entry lives.  Callers must
+    bound growth with :func:`ledger_room` before inserting.
+    """
+    ledger = _REWRITES.get(recipe)
+    if ledger is None:
+        ledger = {}
+        _REWRITES[recipe] = ledger
+    return ledger
+
+
+def ledger_room(ledger: dict) -> None:
+    """Amortised FIFO eviction keeping a ledger below the cache limit."""
+    if len(ledger) >= _CACHE_LIMIT:
+        ledger.pop(next(iter(ledger)))
+
+
+#: Extra cache-clearing hooks registered by plan implementations (e.g. the
+#: ObjectAge lean-decision caches living on interned slice outcomes).
+_CLEARABLES: list[Callable[[], None]] = []
+
+
+def on_clear(hook: Callable[[], None]) -> None:
+    """Register a hook run by :func:`clear_shared_state`."""
+    _CLEARABLES.append(hook)
+
+
+def clear_shared_state() -> None:
+    """Drop every shared cache (benchmarks use this to level the heap)."""
+    for ledger in _REWRITES.values():
+        ledger.clear()
+    _MENTIONS.clear()
+    for columns in _COLUMNS.values():
+        columns._cache.clear()
+    for hook in _CLEARABLES:
+        hook()

@@ -16,7 +16,13 @@ from typing import Any, Iterable
 
 from repro.activitypub.activities import Activity, ActivityType
 from repro.fediverse.identifiers import domain_matches, normalise_domain
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy, PolicyPrecheck
+from repro.mrf.base import (
+    DecisionPlan,
+    MRFContext,
+    MRFDecision,
+    MRFPolicy,
+    PolicyTriggers,
+)
 
 
 class SimplePolicyAction(str, Enum):
@@ -322,10 +328,10 @@ class SimplePolicy(MRFPolicy):
         rejected.  Only the two origin-pure, type-independent checks at
         the head of :meth:`filter` qualify — the accept-list gate and the
         ``reject`` action; ``reject_deletes``/``report_removal`` depend on
-        the activity type and never do.  Batched delivery uses this to
-        reject a whole single-origin batch without running the filter per
-        activity (``origin`` must already be normalised, as activity
-        origins are).
+        the activity type and never do.  This is the policy's
+        ``origin_pure`` plan hook: batched delivery uses it to reject a
+        whole single-origin batch without running the filter per activity
+        (``origin`` must already be normalised, as activity origins are).
         """
         accept_list = self._targets[SimplePolicyAction.ACCEPT]
         if (
@@ -344,24 +350,30 @@ class SimplePolicy(MRFPolicy):
             )
         return None
 
-    def precheck(self) -> PolicyPrecheck:
-        """Expose the target-domain sets as a cheap pre-check.
+    def plan(self) -> DecisionPlan:
+        """Target-domain triggers plus the origin-pure shared reject.
 
         With a non-empty accept list the policy may reject *any* non-listed
         origin, so it must always run; otherwise it can only act on origins
-        matching one of its patterns.
+        matching one of its patterns.  Either way the head of
+        :meth:`filter` depends on the origin alone, so the plan exposes
+        :meth:`unconditional_reject` as its origin-pure hook.
         """
         if self._targets[SimplePolicyAction.ACCEPT]:
-            return PolicyPrecheck(match_all=True)
-        exact: set[str] = set()
-        suffixes: set[str] = set()
-        for patterns in self._targets.values():
-            for pattern in patterns:
-                if pattern.startswith("*."):
-                    suffixes.add(pattern[2:])
-                else:
-                    exact.add(pattern)
-        return PolicyPrecheck(domains=frozenset(exact), suffixes=tuple(suffixes))
+            triggers = PolicyTriggers(match_all=True)
+        else:
+            exact: set[str] = set()
+            suffixes: set[str] = set()
+            for patterns in self._targets.values():
+                for pattern in patterns:
+                    if pattern.startswith("*."):
+                        suffixes.add(pattern[2:])
+                    else:
+                        exact.add(pattern)
+            triggers = PolicyTriggers(
+                domains=frozenset(exact), suffixes=tuple(suffixes)
+            )
+        return DecisionPlan(triggers=triggers, origin_pure=self.unconditional_reject)
 
     @staticmethod
     def _strip_actor_field(activity: Activity, field_name: str) -> Activity:

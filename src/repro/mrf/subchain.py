@@ -11,7 +11,15 @@ import re
 from typing import Any, Iterable
 
 from repro.activitypub.activities import Activity
-from repro.mrf.base import PASS_ACTION, MRFContext, MRFDecision, MRFPolicy, Verdict
+from repro.mrf.base import (
+    PASS_ACTION,
+    DecisionPlan,
+    MRFContext,
+    MRFDecision,
+    MRFPolicy,
+    PolicyTriggers,
+    Verdict,
+)
 
 
 class SubchainPolicy(MRFPolicy):
@@ -30,6 +38,15 @@ class SubchainPolicy(MRFPolicy):
     def add_to_chain(self, policy: MRFPolicy) -> None:
         """Append ``policy`` to the nested chain."""
         self.chain.append(policy)
+        self._bump_config_version()
+
+    def plan(self) -> DecisionPlan:
+        """Without a chain or patterns nothing can happen; otherwise the
+        actor-regex match is opaque to the trigger vocabulary, so the
+        policy runs on everything."""
+        if not self.chain or not self.match_patterns:
+            return DecisionPlan(triggers=PolicyTriggers())
+        return DecisionPlan(triggers=PolicyTriggers(match_all=True))
 
     def config(self) -> dict[str, Any]:
         """Return the matching patterns and the nested chain."""

@@ -14,7 +14,13 @@ from typing import Any, Iterable
 
 from repro.activitypub.activities import Activity
 from repro.fediverse.post import Visibility
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy, PolicyPrecheck
+from repro.mrf.base import (
+    DecisionPlan,
+    MRFContext,
+    MRFDecision,
+    MRFPolicy,
+    PolicyTriggers,
+)
 
 
 class TagAction:
@@ -82,9 +88,9 @@ class TagPolicy(MRFPolicy):
         """Return the policy configuration."""
         return {handle: sorted(tags) for handle, tags in sorted(self._tags.items())}
 
-    def precheck(self) -> PolicyPrecheck:
+    def plan(self) -> DecisionPlan:
         """The policy can only act on activities from tagged accounts."""
-        return PolicyPrecheck(handles=frozenset(self._tags))
+        return DecisionPlan(triggers=PolicyTriggers(handles=frozenset(self._tags)))
 
     # ------------------------------------------------------------------ #
     # Filtering

@@ -17,7 +17,14 @@ from typing import Any
 
 from repro.activitypub.activities import Activity
 from repro.fediverse.post import Visibility
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy
+from repro.mrf.base import (
+    DecisionPlan,
+    MRFContext,
+    MRFDecision,
+    MRFPolicy,
+    PolicyTriggers,
+)
+from repro.mrf.shared import mention_count_of
 
 #: Flag set by AntiHellthreadPolicy and honoured by HellthreadPolicy.
 HELLTHREAD_EXEMPT_FLAG = "hellthread_exempt"
@@ -35,8 +42,35 @@ class HellthreadPolicy(MRFPolicy):
     def __init__(self, delist_threshold: int = 10, reject_threshold: int = 20) -> None:
         if delist_threshold < 0 or reject_threshold < 0:
             raise ValueError("thresholds must be non-negative")
-        self.delist_threshold = delist_threshold
-        self.reject_threshold = reject_threshold
+        self._delist_threshold = delist_threshold
+        self._reject_threshold = reject_threshold
+
+    # The thresholds are version-bumping properties so compiled pipelines
+    # recompile when one is adjusted in place (the plan below bakes the
+    # smallest enabled threshold into the fast-path mention trigger).
+    @property
+    def delist_threshold(self) -> int:
+        """Mention count from which posts are de-listed (0 disables)."""
+        return self._delist_threshold
+
+    @delist_threshold.setter
+    def delist_threshold(self, value: int) -> None:
+        if value < 0:
+            raise ValueError("thresholds must be non-negative")
+        self._delist_threshold = value
+        self._bump_config_version()
+
+    @property
+    def reject_threshold(self) -> int:
+        """Mention count from which posts are rejected (0 disables)."""
+        return self._reject_threshold
+
+    @reject_threshold.setter
+    def reject_threshold(self, value: int) -> None:
+        if value < 0:
+            raise ValueError("thresholds must be non-negative")
+        self._reject_threshold = value
+        self._bump_config_version()
 
     def config(self) -> dict[str, Any]:
         """Return the policy thresholds."""
@@ -44,6 +78,20 @@ class HellthreadPolicy(MRFPolicy):
             "delist_threshold": self.delist_threshold,
             "reject_threshold": self.reject_threshold,
         }
+
+    def plan(self) -> DecisionPlan:
+        """The mention-count trigger: only hellthread-sized posts are touched.
+
+        The policy can only act on posts mentioning at least the smallest
+        enabled threshold's worth of users — the overwhelming majority of
+        federated posts mention nobody and skip the policy entirely, with
+        the count served from the shared mention-count columns.  With both
+        actions disabled the policy never acts.
+        """
+        enabled = [t for t in (self._delist_threshold, self._reject_threshold) if t]
+        if not enabled:
+            return DecisionPlan(triggers=PolicyTriggers())
+        return DecisionPlan(triggers=PolicyTriggers(min_mentions=min(enabled)))
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Check the mention count of the carried post against the thresholds."""
@@ -55,6 +103,9 @@ class HellthreadPolicy(MRFPolicy):
         ):
             return self.accept(activity)
 
+        # The seed's per-call count: the *trigger* uses the shared columns
+        # (see plan()), but the filter itself stays seed-faithful so the
+        # equivalence baseline times the real per-activity work.
         mentions = post.mention_count
         if self.reject_threshold and mentions >= self.reject_threshold:
             return self.reject(
@@ -82,6 +133,10 @@ class AntiHellthreadPolicy(MRFPolicy):
 
     name = "AntiHellthreadPolicy"
 
+    def plan(self) -> DecisionPlan:
+        """Must see every post-carrying activity (it rewrites them all)."""
+        return DecisionPlan(triggers=PolicyTriggers(match_all=True))
+
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Mark the activity as exempt from hellthread filtering."""
         if activity.post is None:
@@ -98,6 +153,10 @@ class EnsureRePrepended(MRFPolicy):
     """
 
     name = "EnsureRePrepended"
+
+    def plan(self) -> DecisionPlan:
+        """Only replies that carry a subject line can be rewritten."""
+        return DecisionPlan(triggers=PolicyTriggers(reply_with_subject=True))
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Prepend ``re:`` to the subject of replies when missing."""

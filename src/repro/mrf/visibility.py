@@ -14,7 +14,13 @@ from typing import Any, Iterable
 from repro.activitypub.activities import Activity
 from repro.fediverse.clock import SECONDS_PER_DAY
 from repro.fediverse.post import Visibility
-from repro.mrf.base import MRFContext, MRFDecision, MRFPolicy, PolicyPrecheck
+from repro.mrf.base import (
+    DecisionPlan,
+    MRFContext,
+    MRFDecision,
+    MRFPolicy,
+    PolicyTriggers,
+)
 
 #: Default expiration applied by ActivityExpirationPolicy (days), as in Pleroma.
 DEFAULT_EXPIRATION_DAYS = 365
@@ -60,13 +66,13 @@ class RejectNonPublic(MRFPolicy):
             "allow_direct": self.allow_direct,
         }
 
-    def precheck(self) -> PolicyPrecheck:
+    def plan(self) -> DecisionPlan:
         """The policy can only act on posts of a disallowed visibility.
 
-        A content-shaped precheck: public/unlisted posts (the overwhelming
+        A content-shaped trigger: public/unlisted posts (the overwhelming
         majority of federated traffic) provably pass untouched, so compiled
         pipelines keep them on the fast path.  With both visibility classes
-        allowed the precheck is trigger-less and the policy is dropped from
+        allowed the plan is trigger-less and the policy is dropped from
         the walk entirely.
         """
         disallowed = set()
@@ -74,7 +80,9 @@ class RejectNonPublic(MRFPolicy):
             disallowed.add(Visibility.FOLLOWERS_ONLY)
         if not self._allow_direct:
             disallowed.add(Visibility.DIRECT)
-        return PolicyPrecheck(post_visibilities=frozenset(disallowed))
+        return DecisionPlan(
+            triggers=PolicyTriggers(post_visibilities=frozenset(disallowed))
+        )
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Reject non-public posts unless their visibility class is allowed."""
@@ -108,15 +116,16 @@ class MentionPolicy(MRFPolicy):
         """Return the handles whose mention causes a drop."""
         return {"actors": sorted(self.blocked_mentions)}
 
-    def precheck(self) -> PolicyPrecheck | None:
-        """Opaque: ``blocked_mentions`` is a public mutable set.
+    def plan(self) -> DecisionPlan:
+        """Always run: ``blocked_mentions`` is a public mutable set.
 
-        A never-acts precheck for the empty case would be permanently baked
-        into compiled pipelines — there is no version-bumping mutator, so a
-        later ``policy.blocked_mentions.add(...)`` would be silently
-        ignored.  The policy therefore always runs.
+        A narrower trigger (the blocked handle set) would be permanently
+        baked into compiled pipelines — there is no version-bumping
+        mutator, so a later ``policy.blocked_mentions.add(...)`` would be
+        silently ignored.  The plan therefore declares ``match_all``,
+        which is always sound.
         """
-        return None
+        return DecisionPlan(triggers=PolicyTriggers(match_all=True))
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Reject posts that mention any blocked handle."""
@@ -148,9 +157,11 @@ class ActivityExpirationPolicy(MRFPolicy):
         """Return the configured expiration in days."""
         return {"days": self.days}
 
-    def precheck(self) -> PolicyPrecheck:
+    def plan(self) -> DecisionPlan:
         """The policy only stamps locally-originated posts."""
-        return PolicyPrecheck(local_origin_only=True, match_all=True)
+        return DecisionPlan(
+            triggers=PolicyTriggers(local_origin_only=True, match_all=True)
+        )
 
     def filter(self, activity: Activity, ctx: MRFContext) -> MRFDecision:
         """Stamp local posts with an expiration timestamp."""

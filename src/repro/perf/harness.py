@@ -293,15 +293,16 @@ def _federation_state(
 def _level_heap() -> None:
     """Level the playing field before a timed federation run.
 
-    The engine's shared rewrite cache keeps posts from earlier runs alive
-    and a grown heap slows whichever path happens to run later (GC scans
-    scale with live objects), so both are reset before every timed region.
+    The engine's shared decision caches (the rewrite ledger, content
+    trigger columns, mention counts) keep posts from earlier runs alive and
+    a grown heap slows whichever path happens to run later (GC scans scale
+    with live objects), so both are reset before every timed region.
     """
     import gc
 
-    from repro.mrf.object_age import clear_rewrite_cache
+    from repro.mrf.shared import clear_shared_state
 
-    clear_rewrite_cache()
+    clear_shared_state()
     gc.collect()
 
 
@@ -326,6 +327,7 @@ def bench_delivery(scenario: str, seed: int = 42, repeats: int = 2) -> dict[str,
     deliveries = 0
     batches = 0
     batch_rejects = 0
+    batch_rewrites = 0
     for _ in range(repeats):
         # Materialising the batch stream (RNG draws + activity creation) is
         # shared work both paths pay identically, so it stays outside the
@@ -347,6 +349,7 @@ def bench_delivery(scenario: str, seed: int = 42, repeats: int = 2) -> dict[str,
             deliveries = delivery.stats.delivered
             batches = len(work)
             batch_rejects = delivery.batch_rejects
+            batch_rewrites = delivery.batch_rewrites
             engine_state = _federation_state(prepared, delivery.stats)
 
     naive_s = float("inf")
@@ -376,6 +379,7 @@ def bench_delivery(scenario: str, seed: int = 42, repeats: int = 2) -> dict[str,
         "deliveries": float(deliveries),
         "batches": float(batches),
         "batch_rejects": float(batch_rejects),
+        "batch_rewrites": float(batch_rewrites),
         "engine_seconds": engine_s,
         "naive_seconds": naive_s,
         "speedup": naive_s / engine_s if engine_s else float("inf"),

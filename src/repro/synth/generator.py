@@ -183,6 +183,11 @@ class FediverseGenerator:
 
         assigner = PolicyAssigner(config, rng, ground_truth)
         policy_assignment = assigner.assign(registry)
+        # Compile every pipeline's plan table now: compilation is
+        # configuration-time work (it belongs with policy assignment, not
+        # with the first delivery that happens to arrive).
+        for instance in registry.pleroma_instances():
+            instance.mrf.compiled()
 
         self._populate_users_and_posts(registry, rng, text, ground_truth, stats)
 
@@ -217,12 +222,13 @@ class FediverseGenerator:
                 stats.federated_deliveries += delivered
                 stats.rejected_deliveries += rejected
         finally:
-            # The shared ObjectAge rewrite cache only pays off within one
-            # federation run; dropping it here keeps finished runs' posts
-            # from being retained across repeated generate() calls.
-            from repro.mrf.object_age import clear_rewrite_cache
+            # The shared decision caches (rewrite ledger, content columns,
+            # mention counts) only pay off within one federation run;
+            # dropping them here keeps finished runs' posts from being
+            # retained across repeated generate() calls.
+            from repro.mrf.shared import clear_shared_state
 
-            clear_rewrite_cache()
+            clear_shared_state()
 
     def _finalise(
         self, prepared: PreparedFediverse, delivery: FederationDelivery

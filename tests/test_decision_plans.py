@@ -1,0 +1,435 @@
+"""Tests for the declarative decision-plan API.
+
+Covers the acceptance criteria of the plan redesign: every shipped policy
+exposes a plan (nothing is opaque to the compiled pipeline), content-shaped
+triggers (mention counts, keyword literals, hashtag columns) are
+conservative, and the stateful twin-pipeline fuzz — compiled vs
+``filter_uncompiled`` — holds for Hellthread/Keyword/Hashtag plans,
+including pattern mutation mid-stream invalidating the interned column
+stores.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.activitypub.activities import create_activity
+from repro.fediverse.clock import SECONDS_PER_DAY
+from repro.fediverse.post import MediaAttachment, Post, Visibility
+from repro.mrf.base import DecisionPlan
+from repro.mrf.keywords import KeywordPolicy, NormalizeMarkup, VocabularyPolicy
+from repro.mrf.media import HashtagPolicy, StealEmojiPolicy
+from repro.mrf.object_age import ObjectAgePolicy
+from repro.mrf.pipeline import MRFPipeline
+from repro.mrf.proposed import CuratedBlocklistPolicy
+from repro.mrf.registry import (
+    all_known_policy_names,
+    create_policy,
+    proposed_policy_names,
+)
+from repro.mrf.simple import SimplePolicy
+from repro.mrf.threads import HellthreadPolicy
+
+NOW = 30 * SECONDS_PER_DAY
+
+
+def make_post(domain="origin.example", created_at=NOW - 600.0, **kwargs):
+    return Post(
+        post_id=f"{domain}-{random.randrange(10**9)}",
+        author=kwargs.pop("author", f"user@{domain}"),
+        domain=domain,
+        content=kwargs.pop("content", "a perfectly ordinary post"),
+        created_at=created_at,
+        **kwargs,
+    )
+
+
+def make_activity(domain="origin.example", **kwargs):
+    return create_activity(make_post(domain=domain, **kwargs))
+
+
+def decision_view(decision):
+    return (
+        decision.verdict,
+        decision.policy,
+        decision.action,
+        decision.reason,
+        decision.modified,
+    )
+
+
+def event_view(pipeline):
+    return [
+        (e.origin_domain, e.policy, e.action, e.activity_type, e.accepted, e.reason)
+        for e in pipeline.events
+    ]
+
+
+class TestEveryPolicyHasAPlan:
+    def test_no_shipped_policy_is_opaque(self):
+        """The acceptance criterion: every constructible policy (in-built,
+        observed custom, proposed) returns a DecisionPlan."""
+        for name in all_known_policy_names() + proposed_policy_names():
+            policy = create_policy(name)
+            plan = policy.plan()
+            assert isinstance(plan, DecisionPlan), f"{name} is opaque"
+
+    def test_configured_policies_still_plan(self):
+        configured = [
+            SimplePolicy(reject=["bad.example"], accept=[]),
+            KeywordPolicy(reject=["casino bonus"], replace={"heck": "h*ck"}),
+            HashtagPolicy(sensitive=["nsfw"], reject=["banned_tag"]),
+            HellthreadPolicy(delist_threshold=3, reject_threshold=6),
+            ObjectAgePolicy(threshold=100.0, actions=("reject",)),
+            StealEmojiPolicy(hosts=["*.example"]),
+            CuratedBlocklistPolicy(lists={"NoHate": ["hate.example"]}, subscribed=["NoHate"]),
+            VocabularyPolicy(reject=["Flag"]),
+        ]
+        for policy in configured:
+            assert isinstance(policy.plan(), DecisionPlan)
+
+    def test_fully_planned_pipeline(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        for name in ("ObjectAgePolicy", "KeywordPolicy", "HashtagPolicy", "HellthreadPolicy"):
+            pipeline.add_policy(create_policy(name))
+        assert pipeline.compiled().fully_planned
+
+
+class TestContentTriggerSoundness:
+    """Conservativeness of the interned content columns."""
+
+    def assert_equivalent(self, pipeline, activity, now=NOW):
+        before = len(pipeline.events)
+        compiled = pipeline.filter(activity, now=now)
+        compiled_events = pipeline.events[before:]
+        before = len(pipeline.events)
+        uncompiled = pipeline.filter_uncompiled(activity, now=now)
+        uncompiled_events = pipeline.events[before:]
+        assert decision_view(compiled) == decision_view(uncompiled)
+        assert [
+            (e.policy, e.action, e.accepted) for e in compiled_events
+        ] == [(e.policy, e.action, e.accepted) for e in uncompiled_events]
+        return compiled
+
+    def test_keyword_substring_inside_longer_word(self):
+        """'casino bonus' must match inside 'megacasino bonus' — the seed's
+        re.search has no word boundaries, so the trigger must fire too."""
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(KeywordPolicy(reject=["casino bonus"]))
+        hit = self.assert_equivalent(
+            pipeline, make_activity(content="unmissable megacasino bonus deal")
+        )
+        assert hit.rejected
+
+    def test_keyword_subject_only_match(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(KeywordPolicy(reject=["forbidden"]))
+        hit = self.assert_equivalent(
+            pipeline, make_activity(content="clean body", subject="Forbidden topic")
+        )
+        assert hit.rejected
+
+    def test_keyword_unicode_casefold_still_matches(self):
+        """re.IGNORECASE matches U+017F (long s) against 's', but lower()
+        does not — non-ASCII texts must conservatively run the policy."""
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(KeywordPolicy(reject=["sale"]))
+        hit = self.assert_equivalent(
+            pipeline, make_activity(content="big ſale today")
+        )
+        assert hit.rejected
+
+    def test_keyword_regex_pattern_falls_back_to_match_all(self):
+        policy = KeywordPolicy(reject=[r"cas.no\s+bonus"])
+        assert policy.plan().triggers.match_all
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(policy)
+        hit = self.assert_equivalent(pipeline, make_activity(content="casino bonus"))
+        assert hit.rejected
+
+    def test_hashtag_apostrophe_adjacency(self):
+        """'#nsfw's' carries the hashtag 'nsfw' though 'nsfw's' is one
+        token — the trigger must still fire."""
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(HashtagPolicy(sensitive=["nsfw"]))
+        hit = self.assert_equivalent(
+            pipeline, make_activity(content="look at #nsfw's new stuff")
+        )
+        assert hit.modified and hit.activity.post.sensitive
+
+    def test_hashtag_explicit_tags_field(self):
+        """A tag only present in post.tags (not in the content) must trigger."""
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(HashtagPolicy(sensitive=["nsfw"]))
+        hit = self.assert_equivalent(
+            pipeline, make_activity(content="no tags here", tags=("NSFW",))
+        )
+        assert hit.modified and hit.activity.post.sensitive
+
+    def test_hashtag_nonascii_neighbour_lowering_into_token(self):
+        """U+212A (KELVIN SIGN) lowers to 'k': '#nsfwK' would tokenise
+        as 'nsfwk' after lowering, destroying the anchored boundary — the
+        trigger must conservatively run the policy on non-ASCII text."""
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(HashtagPolicy(reject=["nsfw"]))
+        hit = self.assert_equivalent(
+            pipeline, make_activity(content="look #nsfwK stuff")
+        )
+        assert hit.rejected
+
+    def test_hashtag_prefix_does_not_act(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(HashtagPolicy(sensitive=["nsfw"]))
+        miss = self.assert_equivalent(
+            pipeline, make_activity(content="totally #nsfwish content")
+        )
+        assert miss.accepted and not miss.modified
+
+    def test_hashtag_underscore_tag_uses_substring_mode(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(HashtagPolicy(sensitive=["my_tag"]))
+        hit = self.assert_equivalent(pipeline, make_activity(content="see #my_tag now"))
+        assert hit.modified
+
+    def test_hellthread_mention_trigger(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(HellthreadPolicy(delist_threshold=3, reject_threshold=5))
+        assert pipeline.compiled().min_mentions == 3
+        few = self.assert_equivalent(
+            pipeline, make_activity(content="hi @a@x.example and @b@y.example")
+        )
+        assert few.accepted and not few.modified
+        many = " ".join(f"@user{i}@many.example" for i in range(6))
+        rejected = self.assert_equivalent(pipeline, make_activity(content=many))
+        assert rejected.rejected
+
+    def test_normalize_markup_trigger(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(NormalizeMarkup())
+        plain = self.assert_equivalent(pipeline, make_activity(content="no markup"))
+        assert not plain.modified
+        marked = self.assert_equivalent(
+            pipeline, make_activity(content="hello <b>world</b>")
+        )
+        assert marked.modified and marked.activity.post.content == "hello world"
+
+
+class TestPatternMutationMidStream:
+    def test_keyword_mutation_invalidates_columns(self):
+        """add_pattern/remove_pattern must bump the version stamp so the
+        compiled pipeline rebuilds its plan (and column store)."""
+        pipeline = MRFPipeline(local_domain="local.example")
+        policy = KeywordPolicy(reject=["old phrase"])
+        pipeline.add_policy(policy)
+        activity = make_activity(content="speak of the new menace")
+        assert pipeline.filter(activity, now=NOW).accepted
+
+        policy.add_pattern("reject", "new menace")
+        assert pipeline.filter(make_activity(content="speak of the new menace"), now=NOW).rejected
+        assert policy.remove_pattern("reject", "new menace")
+        assert pipeline.filter(make_activity(content="speak of the new menace"), now=NOW).accepted
+
+    def test_hashtag_mutation_invalidates_columns(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        policy = HashtagPolicy(sensitive=())
+        pipeline.add_policy(policy)
+        activity = make_activity(content="all about #cryptids")
+        assert not pipeline.filter(activity, now=NOW).modified
+
+        policy.add_tag("sensitive", "#cryptids")
+        assert pipeline.filter(make_activity(content="all about #cryptids"), now=NOW).modified
+        assert policy.remove_tag("sensitive", "cryptids")
+        assert not pipeline.filter(make_activity(content="all about #cryptids"), now=NOW).modified
+
+    def test_vocabulary_mutation_invalidates_type_gate(self):
+        from repro.activitypub.actors import Actor
+        from repro.activitypub.activities import follow_activity
+
+        pipeline = MRFPipeline(local_domain="local.example")
+        policy = VocabularyPolicy(reject=["Flag"])
+        pipeline.add_policy(policy)
+        actor = Actor(username="someone", domain="origin.example")
+        follow = follow_activity(actor, "alice@local.example", published=5.0)
+        assert pipeline.filter(follow, now=NOW).accepted
+        policy.add_type("reject", "Follow")
+        follow = follow_activity(actor, "alice@local.example", published=5.0)
+        assert pipeline.filter(follow, now=NOW).rejected
+        assert policy.remove_type("reject", "follow")
+        follow = follow_activity(actor, "alice@local.example", published=5.0)
+        assert pipeline.filter(follow, now=NOW).accepted
+
+    def test_hellthread_threshold_mutation(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        policy = HellthreadPolicy(delist_threshold=10, reject_threshold=0)
+        pipeline.add_policy(policy)
+        mentions = " ".join(f"@user{i}@many.example" for i in range(4))
+        assert not pipeline.filter(make_activity(content=mentions), now=NOW).modified
+        policy.delist_threshold = 3
+        assert pipeline.filter(make_activity(content=mentions), now=NOW).modified
+
+
+def build_fuzz_pipeline() -> MRFPipeline:
+    pipeline = MRFPipeline(local_domain="local.example")
+    pipeline.add_policy(ObjectAgePolicy())
+    pipeline.add_policy(HellthreadPolicy(delist_threshold=4, reject_threshold=8))
+    pipeline.add_policy(
+        KeywordPolicy(
+            reject=["forbidden phrase"],
+            federated_timeline_removal=["noisy meme"],
+            replace={"heck": "h*ck"},
+        )
+    )
+    pipeline.add_policy(HashtagPolicy(sensitive=["nsfw"], reject=["banned_tag"]))
+    pipeline.add_policy(SimplePolicy(reject=["bad.example"], media_nsfw=["lewd.example"]))
+    pipeline.add_policy(StealEmojiPolicy(hosts=["*.example"]))
+    return pipeline
+
+
+def random_activity(rng: random.Random):
+    domain = rng.choice(
+        ["bad.example", "lewd.example", "plain.example", "other.example"]
+    )
+    pieces = []
+    if rng.random() < 0.25:
+        pieces.append("the forbidden phrase appears")
+    if rng.random() < 0.25:
+        pieces.append("such a noisy meme")
+    if rng.random() < 0.2:
+        pieces.append("what the heck")
+    if rng.random() < 0.25:
+        pieces.append("#nsfw stuff")
+    if rng.random() < 0.1:
+        pieces.append("#banned_tag")
+    if rng.random() < 0.2:
+        pieces.append(" ".join(f"@u{i}@m.example" for i in range(rng.randrange(1, 10))))
+    if rng.random() < 0.3:
+        pieces.append("spicy :emoji: content")
+    if not pieces:
+        pieces.append("an unremarkable update")
+    kwargs = {}
+    if rng.random() < 0.2:
+        kwargs["attachments"] = (MediaAttachment(url=f"https://{domain}/a.png"),)
+    if rng.random() < 0.15:
+        kwargs["visibility"] = rng.choice(
+            [Visibility.UNLISTED, Visibility.FOLLOWERS_ONLY, Visibility.DIRECT]
+        )
+    created_at = rng.uniform(0.0, NOW)
+    return make_activity(
+        domain=domain, content=" ".join(pieces), created_at=created_at, **kwargs
+    )
+
+
+class TestStatefulTwinFuzz:
+    def test_compiled_matches_uncompiled_with_midstream_mutations(self):
+        """Twin pipelines see the same activity stream; one filters through
+        the compiled plans, the other through the seed walk.  Stateful
+        policies (StealEmoji) must evolve identically, and mid-stream
+        pattern mutations (applied to both twins) must invalidate the
+        column version stamps on the compiled side."""
+        compiled_pipeline = build_fuzz_pipeline()
+        uncompiled_pipeline = build_fuzz_pipeline()
+        rng = random.Random(20260728)
+
+        def mutate(step: int) -> None:
+            for pipeline in (compiled_pipeline, uncompiled_pipeline):
+                keyword = pipeline.get_policy("KeywordPolicy")
+                hashtag = pipeline.get_policy("HashtagPolicy")
+                hellthread = pipeline.get_policy("HellthreadPolicy")
+                if step == 40:
+                    keyword.add_pattern("reject", "unremarkable update")
+                elif step == 80:
+                    keyword.remove_pattern("reject", "unremarkable update")
+                    hashtag.add_tag("reject", "nsfw")
+                elif step == 120:
+                    hashtag.remove_tag("reject", "nsfw")
+                    hellthread.delist_threshold = 2
+
+        for step in range(160):
+            mutate(step)
+            activity = random_activity(rng)
+            compiled = compiled_pipeline.filter(activity, now=NOW)
+            uncompiled = uncompiled_pipeline.filter_uncompiled(activity, now=NOW)
+            assert decision_view(compiled) == decision_view(uncompiled), f"step {step}"
+            if compiled.accepted:
+                assert (
+                    compiled.activity.post.to_dict()
+                    == uncompiled.activity.post.to_dict()
+                ), f"step {step}"
+        assert event_view(compiled_pipeline) == event_view(uncompiled_pipeline)
+        # The stateful policy evolved identically on both sides.
+        assert (
+            compiled_pipeline.get_policy("StealEmojiPolicy").stolen
+            == uncompiled_pipeline.get_policy("StealEmojiPolicy").stolen
+        )
+
+    def test_batch_programs_match_uncompiled_per_origin(self):
+        """apply_batch (shared rejects, stages, residual walks) against the
+        per-activity seed walk on single-origin batches."""
+        rng = random.Random(99)
+        for origin in ("bad.example", "lewd.example", "plain.example"):
+            fast = build_fuzz_pipeline()
+            slow = build_fuzz_pipeline()
+            activities = []
+            for _ in range(30):
+                activity = random_activity(rng)
+                if activity.origin_domain != origin:
+                    continue
+                activities.append(activity)
+            rng_batch = [
+                a for a in (random_activity(rng) for _ in range(60))
+                if a.origin_domain == origin
+            ]
+            activities.extend(rng_batch)
+            if not activities:
+                continue
+            shared, decisions, _ = fast.apply_batch(activities, origin, now=NOW)
+            slow_decisions = [slow.filter_uncompiled(a, now=NOW) for a in activities]
+            if shared is not None:
+                policy, action, reason = shared
+                for decision in slow_decisions:
+                    assert decision.rejected
+                    assert (decision.policy, decision.action, decision.reason) == (
+                        policy,
+                        action,
+                        reason,
+                    )
+            else:
+                for fast_decision, slow_decision in zip(decisions, slow_decisions):
+                    if fast_decision is None:
+                        assert slow_decision.accepted and not slow_decision.modified
+                    else:
+                        assert decision_view(fast_decision) == decision_view(
+                            slow_decision
+                        )
+            assert event_view(fast) == event_view(slow)
+
+
+class TestSharedRewriteLedger:
+    def test_one_rewritten_copy_serves_many_receivers(self):
+        """The same stale post delivered through two pipelines must come out
+        as the same rewritten post object (the ledger share)."""
+        first = MRFPipeline(local_domain="a.example")
+        second = MRFPipeline(local_domain="b.example")
+        first.add_policy(ObjectAgePolicy())
+        second.add_policy(ObjectAgePolicy())
+        activity = make_activity(created_at=0.0)
+        one = first.filter(activity, now=NOW)
+        two = second.filter(activity, now=NOW)
+        assert one.modified and two.modified
+        assert one.activity.post is two.activity.post
+
+    def test_lean_batch_shares_decision_objects(self):
+        first = MRFPipeline(local_domain="a.example")
+        second = MRFPipeline(local_domain="b.example")
+        first.add_policy(ObjectAgePolicy())
+        second.add_policy(ObjectAgePolicy())
+        activity = make_activity(created_at=0.0)
+        _, decisions_a, rewrites_a = first.apply_batch(
+            [activity], "origin.example", now=NOW, lean=True
+        )
+        _, decisions_b, rewrites_b = second.apply_batch(
+            [activity], "origin.example", now=NOW, lean=True
+        )
+        assert rewrites_a == rewrites_b == 1
+        assert decisions_a[0] is decisions_b[0]
+        assert decisions_a[0].post.visibility is Visibility.UNLISTED

@@ -64,8 +64,8 @@ class TestUnconditionalReject:
         assert policy.unconditional_reject("sub.bad.example", "local.example") is not None
 
 
-class TestPipelineBatchReject:
-    def test_batch_reject_matches_per_activity_filtering(self):
+class TestPipelineApplyBatch:
+    def test_shared_reject_matches_per_activity_filtering(self):
         shared_kwargs = dict(local_domain="local.example")
         fast = MRFPipeline(**shared_kwargs)
         slow = MRFPipeline(**shared_kwargs)
@@ -74,32 +74,91 @@ class TestPipelineBatchReject:
             pipeline.add_policy(ObjectAgePolicy(threshold=100.0, actions=("delist",)))
         activities = [make_activity("bad.example") for _ in range(5)]
 
-        shared = fast.batch_reject(activities, "bad.example", now=50.0)
+        shared, decisions, rewrites = fast.apply_batch(
+            activities, "bad.example", now=50.0
+        )
         assert shared == (
             "SimplePolicy",
             "reject",
             "all activities from bad.example are rejected",
         )
+        assert decisions is None and rewrites == 0
         slow_decisions = [slow.filter(a, now=50.0) for a in activities]
         assert all(d.rejected for d in slow_decisions)
         assert event_view(fast) == event_view(slow)
 
-    def test_batch_reject_declines_when_simple_policy_not_first(self):
-        pipeline = MRFPipeline(local_domain="local.example")
-        pipeline.add_policy(ObjectAgePolicy(threshold=100.0, actions=("delist",)))
-        pipeline.add_policy(SimplePolicy(reject=["bad.example"]))
-        activities = [make_activity("bad.example")]
-        assert pipeline.batch_reject(activities, "bad.example", now=0.0) is None
-        assert pipeline.events == []
+    def test_stale_batch_shares_rewrites_before_the_terminal_reject(self):
+        """ObjectAge first, SimplePolicy-reject second: the stale posts'
+        rewrite events must precede each terminal reject event, exactly as
+        the uncompiled walk logs them."""
+        now = 500.0
+
+        def build():
+            pipeline = MRFPipeline(local_domain="local.example")
+            pipeline.add_policy(ObjectAgePolicy(threshold=100.0))
+            pipeline.add_policy(SimplePolicy(reject=["bad.example"]))
+            return pipeline
+
+        fast, slow = build(), build()
+        activities = [
+            make_activity("bad.example", created_at=0.0),  # stale -> rewrite+reject
+            make_activity("bad.example", created_at=450.0),  # fresh -> reject only
+        ]
+        shared, decisions, rewrites = fast.apply_batch(activities, "bad.example", now=now)
+        assert shared == (
+            "SimplePolicy",
+            "reject",
+            "all activities from bad.example are rejected",
+        )
+        assert rewrites == 1
+        for activity in activities:
+            assert slow.filter_uncompiled(activity, now=now).rejected
+        assert event_view(fast) == event_view(slow)
+
+    def test_age_reject_stage_turns_the_batch_per_activity(self):
+        """A reject-capable stage (ObjectAge 'reject') before a terminal
+        shared reject cannot share one report shape: stale posts are
+        rejected by ObjectAge, fresh ones by SimplePolicy."""
+        now = 500.0
+
+        def build():
+            pipeline = MRFPipeline(local_domain="local.example")
+            pipeline.add_policy(ObjectAgePolicy(threshold=100.0, actions=("reject",)))
+            pipeline.add_policy(SimplePolicy(reject=["bad.example"]))
+            return pipeline
+
+        fast, slow = build(), build()
+        activities = [
+            make_activity("bad.example", created_at=0.0),
+            make_activity("bad.example", created_at=450.0),
+        ]
+        shared, decisions, rewrites = fast.apply_batch(activities, "bad.example", now=now)
+        assert shared is None
+        slow_decisions = [slow.filter_uncompiled(a, now=now) for a in activities]
+        assert [
+            (d.verdict, d.policy, d.action, d.reason) for d in decisions
+        ] == [
+            (d.verdict, d.policy, d.action, d.reason) for d in slow_decisions
+        ]
+        assert event_view(fast) == event_view(slow)
 
     def test_inert_policies_before_simple_policy_do_not_block(self):
         pipeline = MRFPipeline(local_domain="local.example")
         pipeline.add_policy(NoOpPolicy())
         pipeline.add_policy(SimplePolicy(reject=["bad.example"]))
-        assert (
-            pipeline.batch_reject([make_activity("bad.example")], "bad.example", now=0.0)
-            is not None
+        shared, _, _ = pipeline.apply_batch(
+            [make_activity("bad.example")], "bad.example", now=0.0
         )
+        assert shared is not None
+
+    def test_untouchable_origin_skips_everything(self):
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(SimplePolicy(reject=["bad.example"]))
+        batch = [make_activity("fine.example") for _ in range(3)]
+        shared, decisions, rewrites = pipeline.apply_batch(batch, "fine.example", now=0.0)
+        assert shared is None and rewrites == 0
+        assert decisions == [None, None, None]
+        assert pipeline.events == []
 
 
 def build_registry():
@@ -188,7 +247,7 @@ class TestRejectNonPublicPrecheck:
         pipeline = MRFPipeline(local_domain="local.example")
         pipeline.add_policy(RejectNonPublic())
         compiled = pipeline.compiled()
-        assert compiled.fully_prechecked
+        assert compiled.fully_planned
         assert compiled.visibilities == frozenset(
             {Visibility.FOLLOWERS_ONLY, Visibility.DIRECT}
         )
@@ -204,11 +263,13 @@ class TestRejectNonPublicPrecheck:
             )
             assert decision.rejected
 
-    def test_allow_flags_narrow_the_precheck(self):
+    def test_allow_flags_narrow_the_plan(self):
         policy = RejectNonPublic(allow_followers_only=True)
-        assert policy.precheck().post_visibilities == frozenset({Visibility.DIRECT})
+        assert policy.plan().triggers.post_visibilities == frozenset(
+            {Visibility.DIRECT}
+        )
         both = RejectNonPublic(allow_followers_only=True, allow_direct=True)
-        assert both.precheck().post_visibilities == frozenset()
+        assert both.plan().triggers.post_visibilities == frozenset()
         pipeline = MRFPipeline(local_domain="local.example")
         pipeline.add_policy(both)
         assert pipeline.compiled().never_acts

@@ -128,10 +128,30 @@ class TestFastPath:
         rejected = assert_equivalent(pipeline, follow, now=10.0)
         assert rejected.rejected
 
-    def test_opaque_policies_always_run(self):
+    def test_keyword_policy_content_trigger(self):
         pipeline = MRFPipeline(local_domain="local.example")
         pipeline.add_policy(KeywordPolicy(reject=["forbidden phrase"]))
-        assert not pipeline.compiled().fully_prechecked
+        compiled = pipeline.compiled()
+        assert compiled.fully_planned
+        assert compiled.content_triggers
+        clean = assert_equivalent(pipeline, make_activity(content="all good"), now=10.0)
+        assert clean.accepted and not clean.modified
+        bad = make_activity(content="this contains the forbidden phrase indeed")
+        rejected = assert_equivalent(pipeline, bad, now=10.0)
+        assert rejected.rejected
+
+    def test_opaque_third_party_policies_always_run(self):
+        class LegacyPolicy(KeywordPolicy):
+            """A pre-plan-API subclass: plan() inherited from MRFPolicy."""
+
+            name = "LegacyPolicy"
+
+            def plan(self):
+                return None
+
+        pipeline = MRFPipeline(local_domain="local.example")
+        pipeline.add_policy(LegacyPolicy(reject=["forbidden phrase"]))
+        assert not pipeline.compiled().fully_planned
         bad = make_activity(content="this contains the forbidden phrase indeed")
         rejected = assert_equivalent(pipeline, bad, now=10.0)
         assert rejected.rejected
