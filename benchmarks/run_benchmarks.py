@@ -31,6 +31,18 @@ def _print_report(report: BenchReport) -> None:
         + ", ".join(f"{key}={value}" for key, value in report.dataset.items())
     )
     for section, metrics in report.metrics.items():
+        if "recovery_rate" in metrics:
+            print(
+                f"   {section:16s} recovery {metrics['recovery_rate']:.3f} "
+                f"(frail {metrics['frail_recovery_rate']:.3f}), "
+                f"{metrics['faults_injected']:.0f} faults, "
+                f"{metrics['retries']:.0f} retries, "
+                f"recall none/mixed/heavy "
+                f"{metrics['reject_recall_none']:.3f}/"
+                f"{metrics['reject_recall_mixed']:.3f}/"
+                f"{metrics['reject_recall_heavy']:.3f}"
+            )
+            continue
         speedup = metrics.get("speedup", 0.0)
         naive = metrics.get("naive_seconds", 0.0)
         fast = (
@@ -68,6 +80,27 @@ def _check_speedups(reports: list[BenchReport], minimum: float) -> list[str]:
     return failures
 
 
+def _check_recovery(reports: list[BenchReport], minimum: float) -> list[str]:
+    """Return one line per chaos stage whose recovery rate is below ``minimum``.
+
+    The CI smoke job runs with ``--min-recovery``: the chaos stage already
+    gates zero-fault reproduction and same-seed determinism internally
+    (raising on divergence), and this check additionally fails the job when
+    the resilient crawl recovers less than the given fraction of the
+    fault-free crawl's snapshots.
+    """
+    failures = []
+    for report in reports:
+        for section, metrics in report.metrics.items():
+            recovery = metrics.get("recovery_rate")
+            if recovery is not None and recovery < minimum:
+                failures.append(
+                    f"{report.scenario}/{section}: recovery {recovery:.3f} "
+                    f"below the {minimum:.3f} floor"
+                )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -90,6 +123,12 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=None,
         help="fail (exit 1) if any stage's recorded speedup falls below this",
+    )
+    parser.add_argument(
+        "--min-recovery",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the chaos stage's recovery rate falls below this",
     )
     args = parser.parse_args(argv)
     scenarios = tuple(args.scenario) if args.scenario else ("small", "large")
@@ -115,6 +154,14 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"   {line}")
             return 1
         print(f"all speedups clear the {args.min_speedup:.2f}x floor")
+    if args.min_recovery is not None:
+        failures = _check_recovery(reports, args.min_recovery)
+        if failures:
+            print("RESILIENCE REGRESSION:")
+            for line in failures:
+                print(f"   {line}")
+            return 1
+        print(f"chaos recovery clears the {args.min_recovery:.2f} floor")
     return 0
 
 

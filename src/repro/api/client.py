@@ -5,26 +5,63 @@ behind the same surface a real HTTP client library would expose: GET a path
 on a domain, receive JSON or an :class:`APIError` carrying the status code.
 It also keeps per-status counters, which is how the dataset-statistics
 experiment reproduces the paper's breakdown of uncrawlable instances.
+
+Resilience: constructed with a :class:`~repro.faults.retry.RetryPolicy`, the
+client retries *transient* failures (statuses the base server never emits, a
+``Retry-After`` header, or a malformed body) with capped exponential backoff
+and deterministic per-domain jitter, honours ``Retry-After``, enforces a
+per-domain retry budget, and opens a per-domain circuit breaker after
+consecutive transient failures.  Every wait is charged to the registry's
+*simulated* clock.  Permanent failures are never retried — so with a
+zero-fault transport the resilient client is byte-for-byte the plain one.
+
+Accounting contract: every attempt that reaches the transport is recorded
+exactly once in :class:`ClientStats` (``requests``/``by_status``/
+``by_domain``), on every path — single ``get``, ``get_many`` batches,
+``metadata_many`` rounds and ``stream_timeline`` — so retries are visible in
+the same counters the dataset statistics already use.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Sequence
+import random
+from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+from typing import Any, Callable, Mapping, Sequence
 
-from repro.api.http import HTTPRequest, HTTPResponse, HTTPStatus
+from repro.api.http import (
+    ATTEMPTS_HEADER,
+    FAULT_HEADER,
+    HTTPRequest,
+    HTTPResponse,
+    HTTPStatus,
+)
 from repro.api.server import FediverseAPIServer, TimelineStream
+from repro.faults.plan import FaultKind
+from repro.faults.retry import TRANSIENT_STATUSES, RetryPolicy
 
 
 class APIError(Exception):
     """Raised when a request returns a non-2xx status."""
 
-    def __init__(self, domain: str, path: str, status: HTTPStatus, message: str = "") -> None:
+    def __init__(
+        self,
+        domain: str,
+        path: str,
+        status: HTTPStatus,
+        message: str = "",
+        attempts: int = 1,
+        fault_kind: str = "",
+    ) -> None:
         super().__init__(f"GET https://{domain}{path} -> {int(status)} {status.reason}")
         self.domain = domain
         self.path = path
         self.status = status
         self.message = message
+        #: How many attempts the retrying client spent on the request.
+        self.attempts = attempts
+        #: The injected-fault attribution, when the failure was injected.
+        self.fault_kind = fault_kind
 
 
 @dataclass
@@ -36,6 +73,13 @@ class ClientStats:
     failed: int = 0
     by_status: dict[int, int] = field(default_factory=dict)
     by_domain: dict[str, int] = field(default_factory=dict)
+    #: Retry attempts issued on top of first attempts (subset of ``requests``).
+    retries: int = 0
+    #: Requests answered locally by an open circuit breaker (these are
+    #: counted in ``requests`` too — the crawler made them, the wire didn't).
+    short_circuited: int = 0
+    #: Simulated seconds spent waiting between attempts.
+    backoff_seconds: float = 0.0
 
     def record(self, status: HTTPStatus, domain: str = "") -> None:
         """Update the counters for one response status."""
@@ -50,18 +94,186 @@ class ClientStats:
             self.by_domain[domain] = self.by_domain.get(domain, 0) + 1
 
 
+@dataclass
+class _BreakerState:
+    """Per-domain circuit-breaker bookkeeping."""
+
+    failures: int = 0
+    opened_at: float | None = None
+
+
 class APIClient:
     """GET JSON documents from instances of the simulated fediverse."""
 
-    def __init__(self, server: FediverseAPIServer) -> None:
+    def __init__(
+        self,
+        server: FediverseAPIServer,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self.server = server
+        self.retry = retry
         self.stats = ClientStats()
+        self._budgets: dict[str, int] = {}
+        self._jitter: dict[str, random.Random] = {}
+        self._breakers: dict[str, _BreakerState] = {}
 
+    # ------------------------------------------------------------------ #
+    # Resilience plumbing
+    # ------------------------------------------------------------------ #
+    def _clock_now(self) -> float:
+        return self.server.registry.clock.now()
+
+    def _budget(self, domain: str) -> int:
+        assert self.retry is not None
+        return self._budgets.get(domain, self.retry.retry_budget_per_domain)
+
+    def _spend(self, domain: str, count: int) -> None:
+        self._budgets[domain] = self._budget(domain) - count
+        self.stats.retries += count
+
+    def _jitter_rng(self, domain: str) -> random.Random:
+        rng = self._jitter.get(domain)
+        if rng is None:
+            assert self.retry is not None
+            rng = self.retry.jitter_stream(domain)
+            self._jitter[domain] = rng
+        return rng
+
+    def _wait(
+        self, domains_attempt: Sequence[tuple[str, float | None]], attempt: int
+    ) -> None:
+        """Back off before retry round ``attempt + 1``.
+
+        Takes ``(domain, retry_after)`` pairs — one per pending logical
+        request — advances each domain's jitter stream exactly once, and
+        charges the *longest* resulting delay to the simulated clock (the
+        round's retries are issued together once every wait has elapsed).
+        """
+        policy = self.retry
+        assert policy is not None
+        delay = 0.0
+        for domain, retry_after in domains_attempt:
+            delay = max(
+                delay,
+                policy.backoff_seconds(attempt, self._jitter_rng(domain), retry_after),
+            )
+        if delay > 0:
+            self.server.registry.clock.advance(delay)
+        self.stats.backoff_seconds += delay
+
+    def _normalise(self, response: HTTPResponse) -> HTTPResponse:
+        """Convert a malformed 200 into the failure the client treats it as.
+
+        A fault-injected 200 whose body is a garbage string fails JSON
+        parsing in a real client; it surfaces here as a 502 tagged with the
+        ``malformed`` fault kind (retryable — the base server never emits
+        it).  Well-formed responses pass through untouched, preserving
+        object identity for the server's shared caches.
+        """
+        if response.ok and isinstance(response.body, str):
+            return HTTPResponse.error(
+                HTTPStatus.BAD_GATEWAY,
+                "malformed response body",
+                {FAULT_HEADER: response.fault_kind or FaultKind.MALFORMED.value},
+            )
+        return response
+
+    def _annotate(self, response: HTTPResponse, attempts: int) -> HTTPResponse:
+        """Stamp a given-up-on failure with the attempts it consumed."""
+        if attempts <= 1 or response.ok:
+            return response
+        headers = dict(response.headers)
+        headers[ATTEMPTS_HEADER] = str(attempts)
+        return HTTPResponse(
+            status=response.status,
+            body=response.body,
+            headers=MappingProxyType(headers),
+        )
+
+    def _breaker_blocked(self, domain: str) -> HTTPResponse | None:
+        """Return the short-circuit response for ``domain``, or ``None``.
+
+        An open breaker answers 503 locally until its cooldown (simulated
+        seconds) elapses; the first request after the cooldown is let
+        through as a half-open trial, and its outcome re-opens or resets
+        the breaker.
+        """
+        policy = self.retry
+        if policy is None:
+            return None
+        state = self._breakers.get(domain)
+        if state is None or state.opened_at is None:
+            return None
+        if self._clock_now() - state.opened_at >= policy.breaker_cooldown_seconds:
+            return None  # half-open: let a trial through
+        return HTTPResponse.error(
+            HTTPStatus.SERVICE_UNAVAILABLE,
+            "circuit breaker open",
+            {FAULT_HEADER: FaultKind.CIRCUIT_OPEN.value},
+        )
+
+    def _record_short_circuit(self, response: HTTPResponse, domain: str) -> None:
+        self.stats.record(response.status, domain)
+        self.stats.short_circuited += 1
+
+    def _note_outcome(self, domain: str, transient_failure: bool) -> None:
+        """Feed one logical request's final outcome to the breaker.
+
+        Only *transient* failures count toward opening (a permanent 404 is
+        the server answering normally); any other outcome resets the
+        breaker.  With a zero-fault transport nothing is ever transient,
+        so the breaker provably never opens.
+        """
+        policy = self.retry
+        if policy is None:
+            return
+        if transient_failure:
+            state = self._breakers.setdefault(domain, _BreakerState())
+            state.failures += 1
+            if state.failures >= policy.breaker_threshold:
+                state.opened_at = self._clock_now()
+        else:
+            state = self._breakers.get(domain)
+            if state is not None:
+                state.failures = 0
+                state.opened_at = None
+
+    def _send_with_retry(
+        self, domain: str, send: Callable[[], HTTPResponse]
+    ) -> tuple[HTTPResponse, int]:
+        """Issue one logical request, retrying transient failures."""
+        policy = self.retry
+        response = self._normalise(send())
+        self.stats.record(response.status, domain)
+        attempts = 1
+        if policy is None:
+            return response, attempts
+        while (
+            policy.transient(response)
+            and attempts < policy.max_attempts
+            and self._budget(domain) > 0
+        ):
+            self._wait([(domain, response.retry_after)], attempts)
+            self._spend(domain, 1)
+            response = self._normalise(send())
+            self.stats.record(response.status, domain)
+            attempts += 1
+        self._note_outcome(domain, policy.transient(response))
+        return response, attempts
+
+    # ------------------------------------------------------------------ #
+    # Request entry points
+    # ------------------------------------------------------------------ #
     def get(self, domain: str, path: str) -> HTTPResponse:
         """Perform a GET and return the raw response (never raises)."""
-        response = self.server.get(domain, path)
-        self.stats.record(response.status, domain)
-        return response
+        blocked = self._breaker_blocked(domain)
+        if blocked is not None:
+            self._record_short_circuit(blocked, domain)
+            return blocked
+        response, attempts = self._send_with_retry(
+            domain, lambda: self.server.get(domain, path)
+        )
+        return self._annotate(response, attempts)
 
     # ------------------------------------------------------------------ #
     # Batched accessors (the crawl engine's transport)
@@ -75,25 +287,118 @@ class APIClient:
         instance resolution and availability check for the whole group —
         while keeping request accounting identical to issuing the same
         :meth:`get` calls one at a time: one counter update per response,
-        in request order.
+        in request order.  Transient failures are retried in batch rounds
+        (only the still-failing requests are re-issued), so per-request
+        attempt counts match the sequential path.
         """
-        responses = self.server.handle_batch(domain, paths)
+        blocked = self._breaker_blocked(domain)
+        if blocked is not None:
+            for _ in paths:
+                self._record_short_circuit(blocked, domain)
+            return [blocked] * len(paths)
+        policy = self.retry
         record = self.stats.record
+        responses = [
+            self._normalise(response)
+            for response in self.server.handle_batch(domain, paths)
+        ]
         for response in responses:
             record(response.status, domain)
-        return responses
+        if policy is None:
+            return responses
+        attempts = [1] * len(responses)
+        round_no = 1
+        while round_no < policy.max_attempts:
+            pending = [
+                index
+                for index, response in enumerate(responses)
+                if policy.transient(response)
+            ]
+            if not pending or self._budget(domain) < len(pending):
+                break
+            self._wait(
+                [(domain, responses[index].retry_after) for index in pending],
+                round_no,
+            )
+            self._spend(domain, len(pending))
+            retried = self.server.handle_batch(
+                domain, [paths[index] for index in pending]
+            )
+            for index, response in zip(pending, retried):
+                response = self._normalise(response)
+                responses[index] = response
+                record(response.status, domain)
+                attempts[index] += 1
+            round_no += 1
+        for response in responses:
+            self._note_outcome(domain, policy.transient(response))
+        return [
+            self._annotate(response, count)
+            for response, count in zip(responses, attempts)
+        ]
 
     def metadata_many(self, domains: Sequence[str]) -> list[HTTPResponse]:
         """Fetch ``/api/v1/instance`` for a whole snapshot round of domains.
 
         One response per domain, in order, with the same per-request
         accounting as sequential :meth:`instance_metadata` calls.
+        Transient failures are retried in rounds through the same
+        :meth:`FediverseAPIServer.metadata_round` entry point, preserving
+        its payload cache.
         """
-        responses = self.server.metadata_round(domains)
+        policy = self.retry
         record = self.stats.record
-        for domain, response in zip(domains, responses):
-            record(response.status, domain)
-        return responses
+        responses: list[HTTPResponse | None] = [None] * len(domains)
+        open_domains: list[tuple[int, str]] = []
+        for index, domain in enumerate(domains):
+            blocked = self._breaker_blocked(domain)
+            if blocked is not None:
+                responses[index] = blocked
+                self._record_short_circuit(blocked, domain)
+            else:
+                open_domains.append((index, domain))
+        if open_domains:
+            served = self.server.metadata_round(
+                [domain for _, domain in open_domains]
+            )
+            for (index, domain), response in zip(open_domains, served):
+                response = self._normalise(response)
+                responses[index] = response
+                record(response.status, domain)
+        if policy is None:
+            return list(responses)  # type: ignore[arg-type]
+        attempts = [1] * len(domains)
+        round_no = 1
+        while round_no < policy.max_attempts:
+            pending = [
+                (index, domain)
+                for index, domain in open_domains
+                if policy.transient(responses[index]) and self._budget(domain) > 0
+            ]
+            if not pending:
+                break
+            self._wait(
+                [
+                    (domain, responses[index].retry_after)
+                    for index, domain in pending
+                ],
+                round_no,
+            )
+            for _, domain in pending:
+                self._spend(domain, 1)
+            retried = self.server.metadata_round([domain for _, domain in pending])
+            for (index, domain), response in zip(pending, retried):
+                response = self._normalise(response)
+                responses[index] = response
+                record(response.status, domain)
+                attempts[index] += 1
+            round_no += 1
+        for index, domain in open_domains:
+            self._note_outcome(domain, policy.transient(responses[index]))
+        return [
+            self._annotate(response, count)
+            for response, count in zip(responses, attempts)
+        ]
 
     def stream_timeline(
         self,
@@ -107,24 +412,72 @@ class APIClient:
         Records exactly the page requests the seed's one-page-at-a-time
         loop would have made: ``stream.pages`` successful page responses,
         or a single failed response when the timeline is unreachable.
+        Transient stream failures (injected 500/504/429) are retried whole;
+        the returned stream's ``attempts`` reports the count.
         """
-        stream = self.server.stream_timeline(
-            domain, local=local, page_size=page_size, max_posts=max_posts
-        )
+        blocked = self._breaker_blocked(domain)
+        if blocked is not None:
+            self._record_short_circuit(blocked, domain)
+            return TimelineStream(
+                status=blocked.status,
+                reason="circuit breaker open",
+                statuses=[],
+                pages=1,
+                fault_kind=FaultKind.CIRCUIT_OPEN.value,
+            )
+        policy = self.retry
         record = self.stats.record
-        status = stream.status
-        for _ in range(stream.pages):
-            record(status, domain)
+
+        def pull() -> TimelineStream:
+            stream = self.server.stream_timeline(
+                domain, local=local, page_size=page_size, max_posts=max_posts
+            )
+            status = stream.status
+            for _ in range(stream.pages):
+                record(status, domain)
+            return stream
+
+        stream = pull()
+        if policy is None:
+            return stream
+        attempts = 1
+        while (
+            self._stream_transient(stream)
+            and attempts < policy.max_attempts
+            and self._budget(domain) > 0
+        ):
+            self._wait([(domain, stream.retry_after)], attempts)
+            self._spend(domain, 1)
+            stream = pull()
+            attempts += 1
+        self._note_outcome(domain, self._stream_transient(stream))
+        if attempts > 1:
+            stream = replace(stream, attempts=attempts)
         return stream
+
+    @staticmethod
+    def _stream_transient(stream: TimelineStream) -> bool:
+        return (
+            int(stream.status) in TRANSIENT_STATUSES
+            or stream.retry_after is not None
+        )
 
     def get_json(self, domain: str, path: str) -> Any:
         """Perform a GET and return the JSON body, raising :class:`APIError`."""
         response = self.get(domain, path)
         if not response.ok:
             message = ""
-            if isinstance(response.body, dict):
+            if isinstance(response.body, Mapping):
                 message = str(response.body.get("error", ""))
-            raise APIError(domain, path, response.status, message)
+            attempts = int(response.header(ATTEMPTS_HEADER, "1") or 1)
+            raise APIError(
+                domain,
+                path,
+                response.status,
+                message,
+                attempts=attempts,
+                fault_kind=response.fault_kind,
+            )
         return response.body
 
     # ------------------------------------------------------------------ #

@@ -4,8 +4,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Any
+from types import MappingProxyType
+from typing import Any, Mapping
 from urllib.parse import parse_qsl, urlsplit
+
+#: Standard header carrying the server's requested retry delay (seconds).
+RETRY_AFTER_HEADER = "Retry-After"
+#: Simulation-side attribution header: which injected fault produced this
+#: response.  A real crawler never sees it; the measurement-bias analysis
+#: and the resilience bookkeeping (``CrawlFailure.fault_kind``) do.
+FAULT_HEADER = "X-Fault"
+#: Annotation added by the retrying client to a response it gave up on:
+#: how many attempts the logical request consumed.
+ATTEMPTS_HEADER = "X-Attempts"
 
 
 class HTTPStatus(IntEnum):
@@ -13,18 +24,22 @@ class HTTPStatus(IntEnum):
 
     The non-200 codes are exactly those the paper reports for uncrawlable
     instances (Section 3): 404 not found, 403 authorisation required,
-    502 bad gateway, 503 service unavailable and 410 gone.
+    502 bad gateway, 503 service unavailable and 410 gone — plus the
+    transient codes the fault-injection layer produces (408 request
+    timeout, 429 rate limited, 500 transient error, 504 gateway timeout).
     """
 
     OK = 200
     BAD_REQUEST = 400
     FORBIDDEN = 403
     NOT_FOUND = 404
+    REQUEST_TIMEOUT = 408
     GONE = 410
     TOO_MANY_REQUESTS = 429
     INTERNAL_SERVER_ERROR = 500
     BAD_GATEWAY = 502
     SERVICE_UNAVAILABLE = 503
+    GATEWAY_TIMEOUT = 504
 
     @property
     def reason(self) -> str:
@@ -37,12 +52,17 @@ _REASONS = {
     400: "Bad Request",
     403: "Forbidden",
     404: "Not Found",
+    408: "Request Timeout",
     410: "Gone",
     429: "Too Many Requests",
     500: "Internal Server Error",
     502: "Bad Gateway",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+#: A shared immutable empty header mapping (the default for responses).
+EMPTY_HEADERS: Mapping[str, str] = MappingProxyType({})
 
 
 @dataclass(frozen=True)
@@ -89,7 +109,7 @@ class HTTPResponse:
 
     status: HTTPStatus
     body: Any = None
-    headers: dict[str, str] = field(default_factory=dict)
+    headers: Mapping[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -102,12 +122,47 @@ class HTTPResponse:
             raise ValueError(f"cannot read body of a {int(self.status)} response")
         return self.body
 
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """Return one response header."""
+        return self.headers.get(name, default)
+
+    @property
+    def retry_after(self) -> float | None:
+        """Return the ``Retry-After`` delay in seconds, when present."""
+        raw = self.headers.get(RETRY_AFTER_HEADER)
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            return None
+
+    @property
+    def fault_kind(self) -> str:
+        """Return the injected-fault attribution of this response (or ``""``)."""
+        return self.headers.get(FAULT_HEADER, "")
+
     @classmethod
     def json_ok(cls, body: Any) -> "HTTPResponse":
         """Build a 200 response carrying a JSON body."""
         return cls(status=HTTPStatus.OK, body=body)
 
     @classmethod
-    def error(cls, status: HTTPStatus, message: str = "") -> "HTTPResponse":
-        """Build an error response with a standard error body."""
-        return cls(status=status, body={"error": message or status.reason})
+    def error(
+        cls,
+        status: HTTPStatus,
+        message: str = "",
+        headers: Mapping[str, str] | None = None,
+    ) -> "HTTPResponse":
+        """Build an error response with a standard error body.
+
+        Error responses are shared across consumers (the server's
+        availability-error cache hands one object to a whole batch), so
+        their body and headers are frozen behind ``MappingProxyType`` —
+        a consumer mutating one cannot corrupt its siblings.
+        """
+        body = MappingProxyType({"error": message or status.reason})
+        frozen_headers = (
+            MappingProxyType(dict(headers)) if headers else EMPTY_HEADERS
+        )
+        return cls(status=status, body=body, headers=frozen_headers)

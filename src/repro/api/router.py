@@ -63,9 +63,18 @@ class Router:
         return [route.pattern for route in self._routes]
 
     def dispatch(self, request: HTTPRequest) -> HTTPResponse:
-        """Find the matching route and invoke its handler."""
+        """Find the matching route and invoke its handler.
+
+        The router is the server's parsing boundary: a handler choking on a
+        malformed request value (``HTTPRequest.int_param`` raising
+        ``ValueError`` on ``?limit=abc``) must surface as a 400 response to
+        the client, not escape the simulated server as a Python exception.
+        """
         for route in self._routes:
             params = route.match(request.path)
             if params is not None:
-                return route.handler(request, **params)
+                try:
+                    return route.handler(request, **params)
+                except ValueError as exc:
+                    return HTTPResponse.error(HTTPStatus.BAD_REQUEST, str(exc))
         return HTTPResponse.error(HTTPStatus.NOT_FOUND, f"no route for {request.path}")

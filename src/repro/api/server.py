@@ -75,17 +75,52 @@ class TimelineStream:
     ``pages`` is the number of page requests a client paging with the given
     page size would have made — the stream keeps request accounting
     identical to the per-page path, it only skips the per-page transport.
+
+    ``retry_after``/``fault_kind``/``attempts`` are populated only by the
+    fault-injection transport and the retrying client; the plain server
+    always leaves them at their defaults.
     """
 
     status: HTTPStatus
     reason: str
     statuses: list[dict[str, Any]]
     pages: int
+    retry_after: float | None = None
+    fault_kind: str = ""
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
         """Return ``True`` when the timeline was served."""
         return 200 <= int(self.status) < 300
+
+
+def count_timeline_pages(
+    total: int, page_size: int, effective: int, max_posts: int | None
+) -> tuple[int, int]:
+    """Replay the client paging loop arithmetically.
+
+    Returns ``(collected, pages)`` for a timeline of ``total`` posts served
+    with a per-page clamp of ``effective`` posts to a client requesting
+    ``page_size``-sized pages: every iteration is one page request, stopping
+    on an empty page, a short page (relative to the *client's* page size) or
+    the ``max_posts`` cap.  Shared by :meth:`FediverseAPIServer.stream_timeline`
+    and the fault injector's truncated-stream twin.
+    """
+    collected = 0
+    pages = 1
+    while True:
+        page_len = min(effective, total - collected)
+        if page_len == 0:
+            break
+        collected += page_len
+        if max_posts is not None and collected >= max_posts:
+            collected = max_posts
+            break
+        if page_len < page_size:
+            break
+        pages += 1
+    return collected, pages
 
 
 class FediverseAPIServer:
@@ -262,23 +297,9 @@ class FediverseAPIServer:
             instance.timelines.public if local else instance.timelines.whole_known_network
         )
         ids = timeline.latest(limit=0)  # the full timeline, newest first
-        total = len(ids)
-        collected = 0
-        pages = 1
-        # Replay the paging loop arithmetically: every iteration is one page
-        # request, stopping on an empty page, a short page (relative to the
-        # *client's* page size) or the max_posts cap.
-        while True:
-            page_len = min(effective, total - collected)
-            if page_len == 0:
-                break
-            collected += page_len
-            if max_posts is not None and collected >= max_posts:
-                collected = max_posts
-                break
-            if page_len < page_size:
-                break
-            pages += 1
+        collected, pages = count_timeline_pages(
+            len(ids), page_size, effective, max_posts
+        )
         self.requests_served += pages - 1
         local_posts = instance.posts
         remote_posts = instance.remote_posts
@@ -363,10 +384,9 @@ class FediverseAPIServer:
                 HTTPStatus.FORBIDDEN, "public timeline requires authentication"
             )
         local_only = request.bool_param("local", default=False)
-        try:
-            limit = request.int_param("limit", DEFAULT_TIMELINE_LIMIT)
-        except ValueError as exc:
-            return HTTPResponse.error(HTTPStatus.BAD_REQUEST, str(exc))
+        # A malformed ``limit`` raises ValueError, which the router boundary
+        # converts to a 400 response.
+        limit = request.int_param("limit", DEFAULT_TIMELINE_LIMIT)
         limit = max(1, min(limit, MAX_TIMELINE_LIMIT))
         max_id = request.param("max_id")
 
@@ -397,10 +417,7 @@ class FediverseAPIServer:
         if not instance.has_user(username):
             return HTTPResponse.error(HTTPStatus.NOT_FOUND, f"unknown account: {username}")
         user = instance.get_user(username)
-        try:
-            limit = request.int_param("limit", DEFAULT_TIMELINE_LIMIT)
-        except ValueError as exc:
-            return HTTPResponse.error(HTTPStatus.BAD_REQUEST, str(exc))
+        limit = request.int_param("limit", DEFAULT_TIMELINE_LIMIT)
         statuses = []
         for post_id in reversed(user.post_ids[-max(1, limit):]):
             statuses.append(instance.get_post(post_id).to_dict())

@@ -27,6 +27,8 @@ from repro.crawler.crawler import PEERS_PATH, InstanceCrawler, TimelineCrawler
 from repro.crawler.directory import InstanceDirectory
 from repro.crawler.snapshots import CrawlFailure, InstanceSnapshot, TimelineCollection
 from repro.datasets.store import Dataset
+from repro.faults.plan import FaultPlan, FaultSpec, compile_for_campaign
+from repro.faults.retry import ResilienceConfig
 from repro.fediverse.registry import FediverseRegistry
 
 
@@ -78,6 +80,22 @@ class CrawlResult:
     def crawlable_pleroma(self) -> int:
         """Return how many Pleroma instances answered the metadata API."""
         return len(self.latest_snapshots)
+
+    @property
+    def degraded_domains(self) -> set[str]:
+        """Domains whose metadata was snapshotted but whose timeline failed.
+
+        The graceful-degradation set: a partial crawl record was salvaged
+        (the snapshot is kept, the timeline marked unreachable) instead of
+        the domain being dropped.  Derived from the retained collections,
+        so it is identical across crawl engines by construction.
+        """
+        return {
+            collection.domain
+            for collection in self.timelines
+            if not collection.reachable
+            and collection.domain in self.latest_snapshots
+        }
 
     @property
     def failure_status_breakdown(self) -> dict[int, int]:
@@ -176,11 +194,23 @@ class MeasurementCampaign:
         server: FediverseAPIServer | None = None,
         directory: InstanceDirectory | None = None,
         sinks: Sequence[CrawlSink] | None = None,
+        faults: FaultSpec | FaultPlan | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self.registry = registry
         self.config = config or CampaignConfig()
         self.server = server or FediverseAPIServer(registry)
-        self.client = APIClient(self.server)
+        if isinstance(faults, FaultSpec):
+            faults = compile_for_campaign(faults, registry, self.config.duration_days)
+        self.fault_plan = faults
+        #: The transport the client talks to: the server itself for a
+        #: ``None``/inert plan (the zero-fault crawl runs on the exact PR 4
+        #: transport object), a :class:`~repro.faults.injector.FaultInjector`
+        #: otherwise.
+        self.transport = faults.wrap(self.server) if faults is not None else self.server
+        self.resilience = resilience
+        retry_policy = resilience.retry_policy if resilience is not None else None
+        self.client = APIClient(self.transport, retry=retry_policy)
         self.directory = directory or InstanceDirectory(
             registry, coverage=self.config.directory_coverage
         )
@@ -190,6 +220,12 @@ class MeasurementCampaign:
         )
         self.sinks: list[CrawlSink] = list(sinks or [])
         self.instance_crawler.on_failure = self._emit_failure
+        #: Domains re-snapshotted by the per-round retry queue, and how
+        #: many of those second passes produced a snapshot.  Campaign-side
+        #: bookkeeping (not part of :class:`CrawlResult`) read by the
+        #: chaos bench.
+        self.round_retried = 0
+        self.round_salvaged = 0
 
     def add_sink(self, sink: CrawlSink) -> None:
         """Attach another sink to the campaign."""
@@ -290,6 +326,41 @@ class MeasurementCampaign:
             self.sinks.remove(sink)
         return sink
 
+    def _retry_round(
+        self,
+        snapshots: dict[str, InstanceSnapshot],
+        pleroma_domains: set[str],
+        now: float,
+        fetch_peers: bool,
+        failures_before: int,
+    ) -> None:
+        """Give a round's fault-stricken domains one more snapshot pass.
+
+        The retry queue holds exactly the domains whose metadata failure
+        this round was *fault-attributed* (non-empty ``fault_kind``) — an
+        injected outage, not the instance's own permanent error — and that
+        produced no snapshot.  With a zero-fault transport no failure
+        carries an attribution, so the queue is provably always empty.
+        """
+        round_failures = self.instance_crawler.failures[failures_before:]
+        queue = sorted(
+            {
+                failure.domain
+                for failure in round_failures
+                if failure.fault_kind
+                and failure.domain not in snapshots
+                and failure.domain in pleroma_domains
+            }
+        )
+        if not queue:
+            return
+        self.round_retried += len(queue)
+        salvaged = self.instance_crawler.snapshot_many(
+            queue, now, fetch_peers=fetch_peers
+        )
+        self.round_salvaged += len(salvaged)
+        snapshots.update(salvaged)
+
     def _crawl_phases(self, retain_timelines: bool) -> CrawlResult:
         clock = self.registry.clock
         result = CrawlResult(dataset=Dataset())
@@ -301,12 +372,18 @@ class MeasurementCampaign:
         first_seen = result.first_seen
         interval = self.config.snapshot_interval_hours * 3600.0
         keep_all = self.config.keep_all_snapshots
+        round_retry = self.resilience is not None and self.resilience.round_retry
         for round_index in range(self.config.snapshot_rounds):
             now = clock.now()
             # Peer lists are large and barely change; fetching them on the
             # first round only mirrors how the paper's crawler was run.
             fetch_peers = round_index == 0
+            failures_before = len(self.instance_crawler.failures)
             snapshots = self.snapshot_round(pleroma_domains, now, fetch_peers)
+            if round_retry:
+                self._retry_round(
+                    snapshots, pleroma_domains, now, fetch_peers, failures_before
+                )
             for domain, snapshot in snapshots.items():
                 first_seen.setdefault(domain, now)
                 previous = result.latest_snapshots.get(domain)

@@ -19,10 +19,10 @@ changed payload is always re-parsed).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.api.client import APIClient, APIError
-from repro.api.http import HTTPResponse
+from repro.api.http import ATTEMPTS_HEADER, HTTPResponse
 from repro.crawler.snapshots import CrawlFailure, InstanceSnapshot, TimelineCollection
 
 #: The three endpoints the paper's crawler fetches per instance.
@@ -58,9 +58,42 @@ def _parse_pleroma_version(payload: dict[str, Any]) -> str:
 
 def _error_message(response: HTTPResponse) -> str:
     """Extract the error message of a failed response (as APIError does)."""
-    if isinstance(response.body, dict):
+    if isinstance(response.body, Mapping):
         return str(response.body.get("error", ""))
     return ""
+
+
+def _failure_from_response(
+    domain: str, now: float, response: HTTPResponse, prefix: str = ""
+) -> CrawlFailure:
+    """Build a :class:`CrawlFailure` from a failed response.
+
+    Reads the retrying client's attribution annotations — attempts spent
+    (``X-Attempts``) and injected-fault kind (``X-Fault``) — so resilience
+    bookkeeping survives into the crawl record.
+    """
+    return CrawlFailure(
+        domain=domain,
+        timestamp=now,
+        status_code=int(response.status),
+        reason=f"{prefix}{_error_message(response)}",
+        attempts=int(response.header(ATTEMPTS_HEADER, "1") or 1),
+        fault_kind=response.fault_kind,
+    )
+
+
+def _failure_from_error(
+    domain: str, now: float, error: APIError, prefix: str = ""
+) -> CrawlFailure:
+    """Build a :class:`CrawlFailure` from an :class:`APIError` (same fields)."""
+    return CrawlFailure(
+        domain=domain,
+        timestamp=now,
+        status_code=int(error.status),
+        reason=f"{prefix}{error.message}",
+        attempts=error.attempts,
+        fault_kind=error.fault_kind,
+    )
 
 
 @dataclass
@@ -107,14 +140,7 @@ class InstanceCrawler:
         try:
             payload = self.client.instance_metadata(domain)
         except APIError as error:
-            self._record_failure(
-                CrawlFailure(
-                    domain=domain,
-                    timestamp=now,
-                    status_code=int(error.status),
-                    reason=error.message,
-                )
-            )
+            self._record_failure(_failure_from_error(domain, now, error))
             return None
 
         stats = payload.get("stats", {})
@@ -161,14 +187,7 @@ class InstanceCrawler:
         templates = self._templates
         for domain, response in zip(domains, responses):
             if not response.ok:
-                self._record_failure(
-                    CrawlFailure(
-                        domain=domain,
-                        timestamp=now,
-                        status_code=int(response.status),
-                        reason=_error_message(response),
-                    )
-                )
+                self._record_failure(_failure_from_response(domain, now, response))
                 continue
             payload = response.body
             template = templates.get(domain)
@@ -206,11 +225,8 @@ class InstanceCrawler:
                     snapshot.peers = tuple(peers_response.body)
                 else:
                     self._record_failure(
-                        CrawlFailure(
-                            domain=domain,
-                            timestamp=now,
-                            status_code=int(peers_response.status),
-                            reason=f"peers: {_error_message(peers_response)}",
+                        _failure_from_response(
+                            domain, now, peers_response, prefix="peers: "
                         )
                     )
             snapshots[domain] = snapshot
@@ -271,12 +287,7 @@ class InstanceCrawler:
             payload = self.client.nodeinfo(domain)
         except APIError as error:
             self._record_failure(
-                CrawlFailure(
-                    domain=domain,
-                    timestamp=now,
-                    status_code=int(error.status),
-                    reason=f"nodeinfo: {error.message}",
-                )
+                _failure_from_error(domain, now, error, prefix="nodeinfo: ")
             )
             return "unknown"
         return str(payload.get("software", {}).get("name", "unknown")) or "unknown"
@@ -287,12 +298,7 @@ class InstanceCrawler:
         """Batched twin of :meth:`_software_from_nodeinfo`."""
         if not response.ok:
             self._record_failure(
-                CrawlFailure(
-                    domain=domain,
-                    timestamp=now,
-                    status_code=int(response.status),
-                    reason=f"nodeinfo: {_error_message(response)}",
-                )
+                _failure_from_response(domain, now, response, prefix="nodeinfo: ")
             )
             return "unknown"
         payload = response.body
@@ -320,12 +326,7 @@ class InstanceCrawler:
             return tuple(self.client.instance_peers(domain))
         except APIError as error:
             self._record_failure(
-                CrawlFailure(
-                    domain=domain,
-                    timestamp=now,
-                    status_code=int(error.status),
-                    reason=f"peers: {error.message}",
-                )
+                _failure_from_error(domain, now, error, prefix="peers: ")
             )
             return ()
 
@@ -357,6 +358,8 @@ class TimelineCrawler:
             except APIError as error:
                 collection.reachable = False
                 collection.status_code = int(error.status)
+                collection.attempts = error.attempts
+                collection.fault_kind = error.fault_kind
                 break
             collection.pages_fetched += 1
             if not page:
@@ -393,6 +396,8 @@ class TimelineCrawler:
             max_posts=max_posts,
         )
         collection = TimelineCollection(domain=domain, timestamp=now)
+        collection.attempts = stream.attempts
+        collection.fault_kind = stream.fault_kind
         if not stream.ok:
             collection.reachable = False
             collection.status_code = int(stream.status)

@@ -8,12 +8,20 @@ from typing import Any
 
 @dataclass(frozen=True)
 class CrawlFailure:
-    """A failed request against one instance."""
+    """A failed request against one instance.
+
+    ``attempts`` counts every try the retrying client spent on the logical
+    request (1 = no retries); ``fault_kind`` is the injected-fault
+    attribution carried on the response's ``X-Fault`` header, or ``""``
+    when the failure was the instance's own (a permanent 404/403/...).
+    """
 
     domain: str
     timestamp: float
     status_code: int
     reason: str = ""
+    attempts: int = 1
+    fault_kind: str = ""
 
 
 @dataclass
@@ -62,6 +70,10 @@ class TimelineCollection:
     status_code: int = 200
     posts: list[dict[str, Any]] = field(default_factory=list)
     pages_fetched: int = 0
+    #: Attempts the retrying client spent on the stream (1 = no retries).
+    attempts: int = 1
+    #: Injected-fault attribution of a failed stream (``""`` otherwise).
+    fault_kind: str = ""
 
     @property
     def post_count(self) -> int:

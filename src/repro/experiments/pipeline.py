@@ -21,6 +21,7 @@ from repro.core.simplepolicy_analysis import SimplePolicyAnalyzer
 from repro.core.solutions import SolutionEvaluator
 from repro.crawler.campaign import CampaignConfig, CrawlResult, MeasurementCampaign
 from repro.datasets.store import Dataset
+from repro.faults import ResilienceConfig
 from repro.perspective.client import PerspectiveClient
 from repro.synth.generator import GeneratedFediverse
 from repro.synth.scenario import build_scenario, scenario_config
@@ -53,13 +54,22 @@ class ReproPipeline:
 
     @cached_property
     def crawl(self) -> CrawlResult:
-        """The measurement-campaign output over the generated fediverse."""
+        """The measurement-campaign output over the generated fediverse.
+
+        A scenario with a fault profile (e.g. ``chaos``) is measured
+        through the fault injector with the resilient client; for the
+        ``none`` profile the campaign runs on the plain engine exactly as
+        before (the inert plan wraps nothing and no retry policy exists).
+        """
+        faults = self.fediverse.fault_spec()
         campaign = MeasurementCampaign(
             self.fediverse.registry,
             CampaignConfig(
                 duration_days=self.campaign_days,
                 snapshot_interval_hours=self._config.snapshot_interval_hours,
             ),
+            faults=None if faults.inert else faults,
+            resilience=None if faults.inert else ResilienceConfig.default(),
         )
         return campaign.run()
 

@@ -1,0 +1,278 @@
+"""The fault injector: a misbehaving twin of the API server transport.
+
+:class:`FaultInjector` exposes the exact transport surface
+:class:`~repro.api.client.APIClient` consumes — ``get``, ``handle_batch``,
+``metadata_round``, ``stream_timeline`` — and decides, per logical request,
+whether the plan injects a fault or the inner server answers.  Batch calls
+keep the engine's single-instant contract: faults are decided for the whole
+group at the group's timestamp, the clean subset is served by one inner
+batch call, and the responses are spliced back in request order.  Timeout
+costs are charged to the simulated clock *after* the batch is served, so a
+batch still models one instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.api.http import (
+    FAULT_HEADER,
+    RETRY_AFTER_HEADER,
+    HTTPRequest,
+    HTTPResponse,
+    HTTPStatus,
+)
+from repro.api.server import (
+    MAX_TIMELINE_LIMIT,
+    FediverseAPIServer,
+    TimelineStream,
+    count_timeline_pages,
+)
+from repro.faults.plan import DomainFaultSchedule, FaultKind, FaultPlan
+
+#: The garbage body of a malformed-JSON fault: a 200 whose payload is not
+#: JSON at all (upstream proxies love serving HTML error pages with 200s).
+MALFORMED_BODY = "<html><body><h1>502 Bad Gateway</h1></body></html>"
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did, by fault kind."""
+
+    injected: dict[str, int] = field(default_factory=dict)
+    #: Posts silently dropped from truncated timeline streams.
+    truncated_posts: int = 0
+    #: Simulated seconds charged to the clock by timed-out requests.
+    timeout_seconds: float = 0.0
+
+    def count(self, kind: FaultKind) -> None:
+        """Record one injected fault."""
+        key = kind.value
+        self.injected[key] = self.injected.get(key, 0) + 1
+
+    @property
+    def total(self) -> int:
+        """Return how many faults were injected in total."""
+        return sum(self.injected.values())
+
+
+class FaultInjector:
+    """Wrap a :class:`FediverseAPIServer` behind a compiled fault plan."""
+
+    def __init__(self, server: FediverseAPIServer, plan: FaultPlan) -> None:
+        self.server = server
+        self.plan = plan
+        self.stats = FaultStats()
+        self._spec = plan.spec
+
+    # ------------------------------------------------------------------ #
+    # Transport passthroughs the client relies on
+    # ------------------------------------------------------------------ #
+    @property
+    def registry(self):
+        """The inner server's registry (clock access for the client)."""
+        return self.server.registry
+
+    @property
+    def requests_served(self) -> int:
+        """Requests the *inner* server actually served (faults excluded)."""
+        return self.server.requests_served
+
+    # ------------------------------------------------------------------ #
+    # Fault decisions
+    # ------------------------------------------------------------------ #
+    def _fault_response(
+        self, kind: FaultKind, retry_after: float | None = None
+    ) -> HTTPResponse:
+        self.stats.count(kind)
+        headers = {FAULT_HEADER: kind.value}
+        if retry_after is not None:
+            headers[RETRY_AFTER_HEADER] = f"{retry_after:g}"
+        if kind is FaultKind.TRANSIENT:
+            return HTTPResponse.error(
+                HTTPStatus.INTERNAL_SERVER_ERROR, "transient server error", headers
+            )
+        if kind is FaultKind.TIMEOUT:
+            self.stats.timeout_seconds += self._spec.timeout_seconds
+            return HTTPResponse.error(
+                HTTPStatus.GATEWAY_TIMEOUT, "request timed out", headers
+            )
+        if kind is FaultKind.RATE_LIMIT:
+            return HTTPResponse.error(
+                HTTPStatus.TOO_MANY_REQUESTS, "rate limited", headers
+            )
+        if kind is FaultKind.FLAP:
+            return HTTPResponse.error(
+                HTTPStatus.SERVICE_UNAVAILABLE, "instance flapping", headers
+            )
+        # Malformed: a 200 whose body is unparseable garbage.
+        return HTTPResponse(
+            status=HTTPStatus.OK, body=MALFORMED_BODY, headers=headers
+        )
+
+    def _decide(
+        self, schedule: DomainFaultSchedule, now: float, document: bool
+    ) -> HTTPResponse | None:
+        """Return the injected response for one request, or ``None``.
+
+        Scheduled (window) faults are checked first — they are functions of
+        time only and draw no randomness.  Per-request faults then advance
+        the domain's dedicated stream once per enabled kind, in a fixed
+        order, so the domain's fault sequence is reproducible.
+        ``document`` selects JSON-document endpoints (the only ones that
+        can return a malformed body).
+        """
+        spec = self._spec
+        if schedule.transient_at(now):
+            return self._fault_response(FaultKind.TRANSIENT)
+        if schedule.rate_limited_at(now):
+            return self._fault_response(
+                FaultKind.RATE_LIMIT, retry_after=spec.rate_limit_retry_after
+            )
+        if schedule.flapping_down_at(now):
+            return self._fault_response(FaultKind.FLAP)
+        if spec.timeout_rate and schedule.rng.random() < spec.timeout_rate:
+            return self._fault_response(FaultKind.TIMEOUT)
+        if (
+            document
+            and spec.malformed_rate
+            and schedule.rng.random() < spec.malformed_rate
+        ):
+            return self._fault_response(FaultKind.MALFORMED)
+        return None
+
+    def _charge_timeouts(self, before: float) -> None:
+        """Advance the simulated clock by timeout costs accrued since ``before``."""
+        waited = self.stats.timeout_seconds - before
+        if waited > 0:
+            self.server.registry.clock.advance(waited)
+
+    # ------------------------------------------------------------------ #
+    # Transport entry points (the APIClient surface)
+    # ------------------------------------------------------------------ #
+    def get(self, domain: str, url: str) -> HTTPResponse:
+        """Serve one GET, possibly injecting a fault."""
+        schedule = self.plan.schedule_for(domain)
+        if schedule is None:
+            return self.server.get(domain, url)
+        before = self.stats.timeout_seconds
+        injected = self._decide(schedule, self.server.registry.clock.now(), True)
+        if injected is None:
+            return self.server.get(domain, url)
+        self._charge_timeouts(before)
+        return injected
+
+    def handle_batch(
+        self, domain: str, requests: Sequence[HTTPRequest | str]
+    ) -> list[HTTPResponse]:
+        """Serve a one-domain request group, splicing injected faults in."""
+        schedule = self.plan.schedule_for(domain)
+        if schedule is None:
+            return self.server.handle_batch(domain, requests)
+        now = self.server.registry.clock.now()
+        before = self.stats.timeout_seconds
+        injected: dict[int, HTTPResponse] = {}
+        clean: list[HTTPRequest | str] = []
+        for index, request in enumerate(requests):
+            fault = self._decide(schedule, now, True)
+            if fault is None:
+                clean.append(request)
+            else:
+                injected[index] = fault
+        if not injected:
+            return self.server.handle_batch(domain, requests)
+        served = iter(self.server.handle_batch(domain, clean)) if clean else iter(())
+        responses = [
+            injected[index] if index in injected else next(served)
+            for index in range(len(requests))
+        ]
+        self._charge_timeouts(before)
+        return responses
+
+    def metadata_round(self, domains: Sequence[str]) -> list[HTTPResponse]:
+        """Serve a snapshot round's metadata requests, faults spliced in."""
+        plan = self.plan
+        now = self.server.registry.clock.now()
+        before = self.stats.timeout_seconds
+        injected: dict[int, HTTPResponse] = {}
+        clean: list[str] = []
+        for index, domain in enumerate(domains):
+            schedule = plan.schedule_for(domain)
+            fault = (
+                self._decide(schedule, now, True) if schedule is not None else None
+            )
+            if fault is None:
+                clean.append(domain)
+            else:
+                injected[index] = fault
+        if not injected:
+            return self.server.metadata_round(domains)
+        served = iter(self.server.metadata_round(clean)) if clean else iter(())
+        responses = [
+            injected[index] if index in injected else next(served)
+            for index in range(len(domains))
+        ]
+        self._charge_timeouts(before)
+        return responses
+
+    def stream_timeline(
+        self,
+        domain: str,
+        *,
+        local: bool = False,
+        page_size: int = 20,
+        max_posts: int | None = None,
+    ) -> TimelineStream:
+        """Serve a timeline stream, possibly faulted or silently truncated."""
+        schedule = self.plan.schedule_for(domain)
+        if schedule is None:
+            return self.server.stream_timeline(
+                domain, local=local, page_size=page_size, max_posts=max_posts
+            )
+        spec = self._spec
+        now = self.server.registry.clock.now()
+        before = self.stats.timeout_seconds
+        injected = self._decide(schedule, now, False)
+        if injected is not None:
+            # A faulted stream costs one page request, like any failed pull.
+            self._charge_timeouts(before)
+            reason: Any = injected.body
+            if not isinstance(reason, str):
+                reason = reason.get("error", "")
+            return TimelineStream(
+                status=injected.status,
+                reason=reason,
+                statuses=[],
+                pages=1,
+                retry_after=injected.retry_after,
+                fault_kind=injected.fault_kind,
+            )
+        stream = self.server.stream_timeline(
+            domain, local=local, page_size=page_size, max_posts=max_posts
+        )
+        if (
+            stream.ok
+            and stream.statuses
+            and spec.truncate_rate
+            and schedule.rng.random() < spec.truncate_rate
+        ):
+            kept = max(1, int(len(stream.statuses) * spec.truncate_keep_share))
+            if kept < len(stream.statuses):
+                self.stats.count(FaultKind.TRUNCATE)
+                self.stats.truncated_posts += len(stream.statuses) - kept
+                effective = max(1, min(page_size, MAX_TIMELINE_LIMIT))
+                collected, pages = count_timeline_pages(
+                    kept, page_size, effective, max_posts
+                )
+                # Accounting stays honest: the truncated stream reports the
+                # page count a client paging the shorter timeline would
+                # have produced (the server already counted the full walk,
+                # but the *client-visible* stream is authoritative).
+                return TimelineStream(
+                    status=stream.status,
+                    reason=stream.reason,
+                    statuses=stream.statuses[:collected],
+                    pages=pages,
+                )
+        return stream

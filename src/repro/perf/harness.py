@@ -29,6 +29,8 @@ from repro.crawler.directory import InstanceDirectory
 from repro.datasets.schema import RejectEdge
 from repro.datasets.store import Dataset
 from repro.experiments.pipeline import ReproPipeline
+from repro.faults.plan import FaultSpec
+from repro.faults.retry import ResilienceConfig
 from repro.perf import baselines
 from repro.perspective.scorer import LexiconScorer
 from repro.synth.generator import FediverseGenerator, PreparedFediverse
@@ -532,6 +534,186 @@ def bench_crawl(scenario: str, seed: int = 42, repeats: int = 2) -> dict[str, fl
     }
 
 
+def _true_reject_edges(registry) -> set[tuple[str, str]]:
+    """The planted reject graph: every configured SimplePolicy reject edge.
+
+    Read straight off the registry's MRF pipelines — including instances
+    that are uncrawlable or do not expose their policies — so recall
+    against it quantifies *total* measurement bias, not just the
+    fault-induced part.
+    """
+    edges: set[tuple[str, str]] = set()
+    for instance in registry.instances():
+        for target in instance.mrf.simple_policy_config().get("reject", ()):
+            edges.add((instance.domain, target))
+    return edges
+
+
+def _measured_reject_edges(result: CrawlResult) -> set[tuple[str, str]]:
+    """The reject edges a crawl actually observed."""
+    return {
+        (edge.source, edge.target)
+        for edge in result.dataset.reject_edges
+        if edge.action == "reject"
+    }
+
+
+def _run_chaos_campaign(
+    config,
+    campaign_config: CampaignConfig,
+    profile: str,
+    fault_seed: int,
+    resilient: bool,
+) -> tuple[MeasurementCampaign, CrawlResult, float]:
+    """One faulted campaign on a freshly generated twin fediverse."""
+    registry = FediverseGenerator(config).generate().registry
+    campaign = MeasurementCampaign(
+        registry,
+        campaign_config,
+        faults=FaultSpec.profile(profile, seed=fault_seed),
+        resilience=ResilienceConfig.default() if resilient else None,
+    )
+    start = time.perf_counter()
+    result = campaign.crawl()
+    elapsed = time.perf_counter() - start
+    campaign.assemble(result)
+    return campaign, result, elapsed
+
+
+def bench_chaos(
+    scenario: str, seed: int = 42, repeats: int = 2, fault_seed: int = 1337
+) -> dict[str, float]:
+    """Measure the crawl engine under a misbehaving network.
+
+    Three house-rules gates, then the resilience/bias numbers:
+
+    - *inertness*: a resilient campaign under the zero-fault plan produces
+      a bit-identical :class:`CrawlResult` to the plain engine (and runs on
+      the unwrapped server object);
+    - *determinism*: two campaigns under the same fault seed are
+      bit-identical to each other;
+    - *measurement bias*: reject-edge recall against the planted ground
+      truth across fault profiles (``none``/``light``/``mixed``/``heavy``),
+      the first bias table of the ROADMAP's measurement-bias suite.
+
+    The faulted runs use the ``mixed`` profile (every fault kind fires).
+    Reported alongside: recovery rate relative to the fault-free crawl, the
+    non-resilient engine's recovery under the same faults (what retrying
+    buys), retry overhead (attempt count and simulated backoff seconds) and
+    requests/s.  The campaign window is capped at 7 simulated days so the
+    stage stays tractable at the large scales.
+    """
+    config = scenario_config(scenario, seed=seed)
+    campaign_config = CampaignConfig(
+        duration_days=min(config.campaign_days, 7.0),
+        snapshot_interval_hours=config.snapshot_interval_hours,
+    )
+
+    # Fault-free reference: the plain engine, no plan, no retry policy.
+    registry = FediverseGenerator(config).generate().registry
+    truth = _true_reject_edges(registry)
+    clean_campaign = MeasurementCampaign(registry, campaign_config)
+    clean_result = clean_campaign.assemble(clean_campaign.crawl())
+    clean_state = _crawl_state(clean_result)
+
+    # Gate 1 — inertness: zero-fault plan + full resilience == plain engine.
+    zero_campaign, zero_result, _ = _run_chaos_campaign(
+        config, campaign_config, "none", fault_seed, resilient=True
+    )
+    if zero_campaign.transport is not zero_campaign.server:
+        raise RuntimeError("zero-fault plan did not return the unwrapped server")
+    _require_equal(
+        _crawl_state(zero_result),
+        clean_state,
+        "zero-fault resilient crawl diverged from the plain engine",
+    )
+
+    # Gate 2 — determinism: same fault seed, bit-identical runs (the first
+    # two runs carry the gate; extra repeats only improve the timing).
+    engine_s = float("inf")
+    faulted_states = []
+    campaign = result = None
+    for _ in range(max(2, repeats)):
+        campaign, result, elapsed = _run_chaos_campaign(
+            config, campaign_config, "mixed", fault_seed, resilient=True
+        )
+        engine_s = min(engine_s, elapsed)
+        if len(faulted_states) < 2:
+            faulted_states.append(_crawl_state(result))
+    _require_equal(
+        faulted_states[0],
+        faulted_states[1],
+        "two crawls under the same fault seed diverged",
+    )
+
+    # What resilience buys: the same faults against the non-retrying engine.
+    _, frail_result, _ = _run_chaos_campaign(
+        config, campaign_config, "mixed", fault_seed, resilient=False
+    )
+
+    # Gate 3 / bias table: reject-edge recall by fault profile.  The clean
+    # and mixed rows reuse the runs above; light/heavy run once each.
+    recalls: dict[str, float] = {}
+    profile_results = {"none": clean_result, "mixed": result}
+    for profile in ("none", "light", "mixed", "heavy"):
+        profile_result = profile_results.get(profile)
+        if profile_result is None:
+            _, profile_result, _ = _run_chaos_campaign(
+                config, campaign_config, profile, fault_seed, resilient=True
+            )
+        measured = _measured_reject_edges(profile_result)
+        recalls[profile] = (
+            len(measured & truth) / len(truth) if truth else 1.0
+        )
+
+    injector = campaign.transport
+    stats = campaign.client.stats
+    clean_domains = len(clean_result.latest_snapshots)
+    clean_snapshots = sum(clean_result.snapshot_counts.values())
+    metrics = {
+        "domains": float(len(result.pleroma_domains)),
+        "rounds": float(campaign_config.snapshot_rounds),
+        "api_requests": float(result.api_requests),
+        "faults_injected": float(injector.stats.total),
+        "truncated_posts": float(injector.stats.truncated_posts),
+        "recovery_rate": (
+            len(result.latest_snapshots) / clean_domains if clean_domains else 1.0
+        ),
+        "snapshot_recovery_rate": (
+            sum(result.snapshot_counts.values()) / clean_snapshots
+            if clean_snapshots
+            else 1.0
+        ),
+        "frail_recovery_rate": (
+            len(frail_result.latest_snapshots) / clean_domains
+            if clean_domains
+            else 1.0
+        ),
+        "frail_snapshot_recovery_rate": (
+            sum(frail_result.snapshot_counts.values()) / clean_snapshots
+            if clean_snapshots
+            else 1.0
+        ),
+        "retries": float(stats.retries),
+        "retry_share": stats.retries / stats.requests if stats.requests else 0.0,
+        "backoff_seconds_simulated": stats.backoff_seconds,
+        "short_circuited": float(stats.short_circuited),
+        "round_retried": float(campaign.round_retried),
+        "round_salvaged": float(campaign.round_salvaged),
+        "degraded_domains": float(len(result.degraded_domains)),
+        "engine_seconds": engine_s,
+        "requests_per_second": (
+            result.api_requests / engine_s if engine_s else float("inf")
+        ),
+        "true_reject_edges": float(len(truth)),
+    }
+    for kind, count in sorted(injector.stats.injected.items()):
+        metrics[f"injected_{kind}"] = float(count)
+    for profile, recall in recalls.items():
+        metrics[f"reject_recall_{profile}"] = recall
+    return metrics
+
+
 # ---------------------------------------------------------------------- #
 # Scenario runs
 # ---------------------------------------------------------------------- #
@@ -570,6 +752,7 @@ def run_scenario(
         scenario, seed=seed, repeats=min(repeats, 2)
     )
     report.metrics["crawl"] = bench_crawl(scenario, seed=seed, repeats=min(repeats, 2))
+    report.metrics["chaos"] = bench_chaos(scenario, seed=seed, repeats=min(repeats, 2))
     return report
 
 

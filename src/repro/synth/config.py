@@ -314,6 +314,16 @@ class SynthConfig:
     #: in early snapshot rounds and lose them later.
     churn_window_days: float = 2.0
 
+    # -- faults ----------------------------------------------------------- #
+    #: Named fault profile the scenario's campaigns are measured under
+    #: (``none``/``light``/``mixed``/``heavy`` — see
+    #: :data:`repro.faults.plan.FAULT_PROFILES`).  ``"none"`` compiles to a
+    #: provably inert plan, so existing scenarios are bit-identical.
+    fault_profile: str = "none"
+    #: Seed of the fault plan's dedicated RNG stream (never shared with the
+    #: generator's own stream).
+    fault_seed: int = 1337
+
     # -- campaign --------------------------------------------------------- #
     #: Length of the simulated measurement campaign, in days.
     campaign_days: float = 14.0
@@ -342,6 +352,11 @@ class SynthConfig:
             raise ValueError("instance_churn_rate must be within [0, 1]")
         if self.churn_window_days <= 0:
             raise ValueError("churn_window_days must be positive")
+        if self.fault_profile not in ("none", "light", "mixed", "heavy"):
+            raise ValueError(
+                f"unknown fault_profile {self.fault_profile!r}; "
+                "available: none, light, mixed, heavy"
+            )
 
     # ------------------------------------------------------------------ #
     # Derived quantities

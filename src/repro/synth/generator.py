@@ -106,6 +106,20 @@ class GeneratedFediverse:
         """Return the simulation clock shared by all components."""
         return self.registry.clock
 
+    def fault_spec(self):
+        """Return the fault spec named by the config's ``fault_profile``.
+
+        The spec draws its seed from ``config.fault_seed`` — a dedicated
+        stream, so a scenario's population is bit-identical whether or not
+        its campaigns are measured under faults.  Pass the result straight
+        to :class:`~repro.crawler.campaign.MeasurementCampaign` (which
+        compiles it against the registry), or compile it yourself via
+        :func:`repro.faults.plan.compile_for_campaign`.
+        """
+        from repro.faults.plan import FaultSpec
+
+        return FaultSpec.for_config(self.config)
+
 
 @dataclass(frozen=True)
 class FederationBatch:

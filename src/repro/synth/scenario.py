@@ -42,6 +42,17 @@ SCENARIOS: dict[str, dict] = {
         "instance_churn_rate": 0.15,
         "churn_window_days": 2.0,
     },
+    # The churn population measured under a misbehaving network: every fault
+    # kind fires (transient 5xx windows, timeouts, 429s, flapping, truncated
+    # timelines, malformed bodies) on top of mid-campaign down flips — the
+    # chaos bench's home scenario.
+    "chaos": {
+        "n_pleroma_instances": 400,
+        "campaign_days": 30.0,
+        "instance_churn_rate": 0.15,
+        "churn_window_days": 2.0,
+        "fault_profile": "mixed",
+    },
     # Instance population matching the paper's 1,534 Pleroma instances.
     "paper": {
         "n_pleroma_instances": 1534,

@@ -31,8 +31,12 @@ def test_report_contains_every_benchmark(tiny_report) -> None:
         "threshold_sweep",
         "delivery",
         "crawl",
+        "chaos",
     }
-    for metrics in report.metrics.values():
+    for section, metrics in report.metrics.items():
+        if section == "chaos":
+            # The chaos stage gates reproduction, not speed: no baseline race.
+            continue
         assert metrics["speedup"] > 0.0
         assert metrics["naive_seconds"] >= 0.0
     assert report.metrics["scoring"]["posts_per_second"] > 0.0
@@ -50,6 +54,11 @@ def test_report_contains_every_benchmark(tiny_report) -> None:
     # The crawl stage ran (and therefore passed) the churn equivalence gate,
     # and the reduced churn population actually lost domains mid-campaign.
     assert report.metrics["crawl"]["churn_flipped_domains"] > 0.0
+    # The chaos stage passed its zero-fault and determinism gates (it raises
+    # otherwise) and actually injected faults in its mixed-profile run.
+    assert report.metrics["chaos"]["faults_injected"] > 0.0
+    assert 0.0 <= report.metrics["chaos"]["recovery_rate"] <= 1.0
+    assert report.metrics["chaos"]["reject_recall_none"] > 0.0
     assert report.dataset["posts"] > 0
 
 
