@@ -6,6 +6,7 @@ and unaffected.  Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py
     PYTHONPATH=src python benchmarks/run_benchmarks.py --scenario small --scenario large
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --stage sharding --workers 1 --workers 4
     PYTHONPATH=src python benchmarks/run_benchmarks.py --out-dir benchmarks/results
 
 See PERFORMANCE.md for what each number means.
@@ -20,8 +21,42 @@ from pathlib import Path
 if __package__ is None or __package__ == "":  # pragma: no cover - script mode
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.perf.harness import BenchReport, run_scenario, write_bench_json
+from repro.perf.harness import STAGES, BenchReport, run_scenario, write_bench_json
 from repro.synth.scenario import SCENARIOS
+
+
+def _print_scaling_table(metrics: dict, workers: list[int]) -> None:
+    """Print the sharding stage's per-worker-count scaling table."""
+    naive = metrics.get("naive_seconds", 0.0)
+    engine = metrics.get("engine_seconds", 0.0)
+    print(
+        f"   {'sharding':16s} engine {engine * 1000:9.2f} ms, "
+        f"naive {naive * 1000:9.2f} ms, "
+        f"best sharded {metrics.get('sharded_seconds', 0.0) * 1000:9.2f} ms"
+        f"  -> {metrics.get('speedup', 0.0):6.1f}x"
+    )
+    print(
+        f"   {'':16s} {'workers':>8s} {'seconds':>10s} {'speedup':>8s} "
+        f"{'vs engine':>9s} {'efficiency':>10s} {'mode':>6s}"
+    )
+    for n in workers:
+        seconds = metrics.get(f"sharded_seconds_workers_{n}")
+        if seconds is None:
+            continue
+        forked = metrics.get(f"forked_workers_{n}", 0.0)
+        print(
+            f"   {'':16s} {n:8d} {seconds:10.4f} "
+            f"{metrics.get(f'speedup_workers_{n}', 0.0):7.2f}x "
+            f"{metrics.get(f'engine_ratio_workers_{n}', 0.0):8.2f}x "
+            f"{metrics.get(f'scaling_efficiency_workers_{n}', 0.0):10.3f} "
+            f"{'fork' if forked else 'inline':>6s}"
+        )
+    gate = metrics.get("fork_gate_seconds", 0.0)
+    if gate:
+        print(
+            f"   {'':16s} forced-fork determinism gate passed "
+            f"(2 workers, {gate:.4f}s)"
+        )
 
 
 def _print_report(report: BenchReport) -> None:
@@ -31,6 +66,9 @@ def _print_report(report: BenchReport) -> None:
         + ", ".join(f"{key}={value}" for key, value in report.dataset.items())
     )
     for section, metrics in report.metrics.items():
+        if section == "sharding":
+            _print_scaling_table(metrics, report.workers)
+            continue
         if "recovery_rate" in metrics:
             print(
                 f"   {section:16s} recovery {metrics['recovery_rate']:.3f} "
@@ -109,6 +147,18 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(SCENARIOS),
         help="scenario(s) to benchmark (default: small and large)",
     )
+    parser.add_argument(
+        "--stage",
+        action="append",
+        choices=STAGES,
+        help="bench stage(s) to run (default: all; xxlarge defaults to sharding)",
+    )
+    parser.add_argument(
+        "--workers",
+        action="append",
+        type=int,
+        help="worker count(s) for the sharding stage (repeatable; default 1 2 4)",
+    )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--campaign-days", type=float, default=2.0)
     parser.add_argument("--repeats", type=int, default=3)
@@ -140,6 +190,8 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             campaign_days=args.campaign_days,
             repeats=args.repeats,
+            stages=tuple(args.stage) if args.stage else None,
+            workers=tuple(args.workers) if args.workers else None,
         )
         path = write_bench_json(report, args.out_dir)
         _print_report(report)

@@ -68,7 +68,10 @@ class InstanceAnnotator:
         if dominance_threshold < 0:
             raise ValueError("dominance_threshold must be non-negative")
         self.dataset = dataset
-        self.labeller = labeller or HarmfulnessLabeller(dataset)
+        # The shared default routes annotation through the dataset's one
+        # interned corpus-column store instead of re-scanning every post
+        # through a private client; labels are bitwise identical.
+        self.labeller = labeller or HarmfulnessLabeller.shared(dataset)
         #: Minimum mean attribute score for an instance to be put into that
         #: attribute's category rather than "general".
         self.dominance_threshold = dominance_threshold

@@ -75,7 +75,7 @@ class CollateralAnalyzer:
         labeller: HarmfulnessLabeller | None = None,
     ) -> None:
         self.dataset = dataset
-        self.labeller = labeller or HarmfulnessLabeller(dataset)
+        self.labeller = labeller or HarmfulnessLabeller.shared(dataset)
         self._pleroma_domains = {
             record.domain for record in dataset.pleroma_instances()
         }

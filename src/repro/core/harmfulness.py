@@ -10,6 +10,7 @@ Figures 4 and 6 and Table 1.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 from repro.datasets.schema import PostRecord
@@ -58,6 +59,14 @@ class InstanceScores:
         return self.mean_scores.get(attribute)
 
 
+#: dataset -> interned default labeller (see :meth:`HarmfulnessLabeller.shared`).
+#: Weakly keyed so a discarded campaign dataset releases its labeller, its
+#: client and the materialised corpus columns with it.
+_SHARED_LABELLERS: "weakref.WeakKeyDictionary[Dataset, HarmfulnessLabeller]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 class HarmfulnessLabeller:
     """Score posts, users and instances with the Perspective substitute."""
 
@@ -75,6 +84,27 @@ class HarmfulnessLabeller:
         self.threshold = threshold
         self.materialise_corpus = materialise_corpus
         self._user_labels: dict[tuple[str, float], UserLabel | None] = {}
+
+    @classmethod
+    def shared(cls, dataset: Dataset) -> "HarmfulnessLabeller":
+        """Return the interned default labeller of ``dataset``.
+
+        Every analysis component that is not handed an explicit labeller
+        (annotation, collateral, reject analysis, solution evaluation)
+        shares this one — and with it one Perspective client and one
+        materialised :class:`~repro.perspective.corpus.CorpusColumns` —
+        instead of each re-scanning the whole post corpus through a
+        private client.  Scoring is deterministic, so the shared labels
+        are bitwise identical to privately computed ones.  Callers that
+        need an isolated configuration (own threshold, quota accounting or
+        a mutable lexicon) should construct their own labeller and pass it
+        explicitly.
+        """
+        labeller = _SHARED_LABELLERS.get(dataset)
+        if labeller is None:
+            labeller = cls(dataset)
+            _SHARED_LABELLERS[dataset] = labeller
+        return labeller
 
     # ------------------------------------------------------------------ #
     # Corpus materialisation

@@ -122,7 +122,7 @@ class SolutionEvaluator:
         repeat_offender_limit: int = 3,
     ) -> None:
         self.dataset = dataset
-        self.labeller = labeller or HarmfulnessLabeller(dataset)
+        self.labeller = labeller or HarmfulnessLabeller.shared(dataset)
         self.threshold = threshold
         #: Share of a sexually-explicit instance's harm carried by media (the
         #: paper notes most of that material is in media form, so media

@@ -250,6 +250,13 @@ class SliceOutcome:
     #: used by report-free delivery where the activity wrapper is
     #: unobservable and only the stored post matters.
     rewrite_post: Callable[[Post], Post] | None = None
+    #: The visibility the rewrite can move a post *to*, when it changes
+    #: visibility at all (``None`` otherwise).  The pipeline uses this to
+    #: detect residual triggers that could fire on the rewritten post
+    #: though they did not on the original, and falls back to the general
+    #: walk for such batches.  Every rewrite that changes visibility MUST
+    #: declare it here.
+    produces_visibility: Any = None
     #: Scratch cache for the pipeline's lean batch decisions (one shared
     #: decision object per distinct post, across every receiving pipeline).
     lean_cache: dict = field(default_factory=dict)
@@ -293,7 +300,16 @@ class DecisionPlan:
     * ``shared_rewrite`` — when not ``None``, the declaration that the
       policy's rewrite is content-independent per batch slice, letting the
       pipeline apply it without running the policy (see
-      :class:`SharedRewrite`).
+      :class:`SharedRewrite`);
+    * ``origin_stages`` — the origin-conditional variant of
+      ``shared_rewrite``: a hook ``(origin, local_domain) ->
+      SharedRewrite | None`` describing what the policy does to activities
+      from that origin *once the origin-pure hook stayed silent*.  A
+      returned rewrite with the same exactness contract as
+      :class:`SharedRewrite` lets the batch stay on the staged fast path
+      (empty ``outcomes`` = the policy provably never acts on the origin);
+      ``None`` means the policy acts in ways no stage can express and the
+      batch takes the general walk.
 
     See the :mod:`repro.mrf` package docstring for the authoring guide
     (gates vs triggers, when sharing is sound, the side-effect rule).
@@ -302,6 +318,7 @@ class DecisionPlan:
     triggers: PolicyTriggers
     origin_pure: Callable[[str, str], tuple[str, str] | None] | None = None
     shared_rewrite: SharedRewrite | None = None
+    origin_stages: Callable[[str, str], SharedRewrite | None] | None = None
 
 
 @dataclass(frozen=True)

@@ -176,6 +176,7 @@ class ObjectAgePolicy(MRFPolicy):
                 reason="delist+strip_followers" if strip else "delist",
                 rewrite=rewrite,
                 rewrite_post=rewrite_post,
+                produces_visibility=Visibility.UNLISTED,
             )
         if strip:
             rewrite, rewrite_post = _build_rewriter(

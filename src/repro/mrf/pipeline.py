@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Sequence
 
 from repro.activitypub.activities import Activity, ActivityType
-from repro.fediverse.post import Post, Visibility
+from repro.fediverse.post import Post
 from repro.mrf.shared import _CACHE_LIMIT, mention_count_of
 from repro.mrf.base import (
     PASS_ACTION,
@@ -292,7 +292,9 @@ class CompiledPipeline:
             # per-activity triggers could fire for unmerged origins.
             if gated and (triggers.domains or triggers.suffixes):
                 default_ok = False
-            if plan.origin_pure is not None and per_activity:
+            if (
+                plan.origin_pure is not None or plan.origin_stages is not None
+            ) and per_activity:
                 default_ok = False
             if triggers.never_fires:
                 # The policy provably never acts (NoOpPolicy, an empty
@@ -468,13 +470,25 @@ class CompiledPipeline:
                 if hit is not None:
                     shared = (policy.name, hit[0], hit[1])
                     break
-                # Live without an unconditional reject: the policy may
-                # still act per activity (e.g. SimplePolicy rewrites).
-                return _GENERAL_PROGRAM
             rewrite = plan.shared_rewrite
+            if rewrite is None and plan.origin_stages is not None:
+                # The origin-pure hook (if any) stayed silent: ask the
+                # origin-conditional stage hook what the policy does to
+                # this origin's activities.
+                rewrite = plan.origin_stages(origin, local_domain)
+                if rewrite is not None and not rewrite.outcomes:
+                    # A provable per-origin no-op (e.g. SimplePolicy with
+                    # only an accept list): drop the entry from the batch.
+                    continue
             if rewrite is not None and ungated:
                 stages.append((policy.name, rewrite))
                 continue
+            if plan.origin_pure is not None:
+                # Live without an unconditional reject and without a
+                # stageable description: the policy may still act per
+                # activity in ways no stage can express (e.g. SimplePolicy
+                # avatar/banner removal or type-dependent rejects).
+                return _GENERAL_PROGRAM
             if ungated and triggers.origin_fires(origin):
                 # Every activity of the batch could be touched (match_all
                 # stateful policies, matched origin triggers): nothing to
@@ -483,16 +497,25 @@ class CompiledPipeline:
             residual.append(triggers)
         if shared is None and not stages and not residual:
             return _SKIP_PROGRAM
-        if stages and any(
-            Visibility.UNLISTED in triggers.post_visibilities
-            for triggers in residual
-        ):
-            # A stage rewrite may delist a post; a residual trigger reading
-            # the UNLISTED visibility could then fire on the rewritten
-            # activity though it did not on the original.  No shipped
-            # policy triggers on UNLISTED — but an authored one must fall
-            # back to the walk.
-            return _GENERAL_PROGRAM
+        if stages and residual:
+            # A stage rewrite may change a post's visibility (ObjectAge
+            # delists, SimplePolicy forces followers-only); a residual
+            # trigger reading a produced visibility could then fire on the
+            # rewritten activity though it did not on the original — e.g.
+            # RejectNonPublic behind a followers_only stage.  Such batches
+            # must take the walk, where rewrites and triggers compose in
+            # order.  Rewrites declare what they produce (see
+            # :attr:`~repro.mrf.base.SliceOutcome.produces_visibility`).
+            produced = {
+                outcome.produces_visibility
+                for _, rewrite in stages
+                for outcome in rewrite.outcomes.values()
+                if outcome.produces_visibility is not None
+            }
+            if produced and any(
+                produced & triggers.post_visibilities for triggers in residual
+            ):
+                return _GENERAL_PROGRAM
         # A reject-capable stage (e.g. ObjectAge's "reject" action) or a
         # residual policy can end an activity before the terminal shared
         # reject does, so the batch's reports are only uniform when stages

@@ -49,6 +49,9 @@ class BenchReport:
     generated_at: float
     dataset: dict[str, int] = field(default_factory=dict)
     metrics: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Worker counts the ``sharding`` stage was measured at (empty when the
+    #: stage did not run), stamped into the BENCH json.
+    workers: list[int] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
         """Serialise the report."""
@@ -56,6 +59,7 @@ class BenchReport:
             "scenario": self.scenario,
             "seed": self.seed,
             "generated_at": self.generated_at,
+            "workers": self.workers,
             "dataset": self.dataset,
             "metrics": self.metrics,
         }
@@ -239,57 +243,13 @@ def _federation_state(
     same process, so they are excluded; everything else (per-instance
     moderation-event streams, full remote-post state, peer sets, ground
     truth, generation counters and the aggregate delivery stats) must be
-    identical between the engine and the seed-faithful baseline.
+    identical between the engine and the seed-faithful baseline.  The
+    snapshot shape is owned by :mod:`repro.shard.state` so the sharded
+    engine's merged state is directly comparable.
     """
-    registry = prepared.registry
-    events = {}
-    remote_posts = {}
-    peers = {}
-    for instance in registry.instances():
-        events[instance.domain] = tuple(
-            (
-                event.timestamp,
-                event.moderating_domain,
-                event.origin_domain,
-                event.policy,
-                event.action,
-                event.activity_type,
-                event.accepted,
-                event.reason,
-            )
-            for event in instance.mrf.events
-        )
-        remote_posts[instance.domain] = tuple(
-            (
-                post_id,
-                post.visibility.value,
-                post.sensitive,
-                len(post.attachments),
-                tuple(sorted(post.extra.items())),
-            )
-            for post_id, post in sorted(instance.remote_posts.items())
-        )
-        peers[instance.domain] = tuple(sorted(instance.peers))
-    generation = prepared.stats
-    return {
-        "ground_truth": prepared.ground_truth.summary(),
-        "generation_stats": (
-            generation.users,
-            generation.posts,
-            generation.federated_deliveries,
-            generation.rejected_deliveries,
-        ),
-        "delivery_stats": (
-            stats.delivered,
-            stats.accepted,
-            stats.rejected,
-            stats.modified,
-            tuple(sorted(stats.by_policy.items())),
-        ),
-        "events": events,
-        "remote_posts": remote_posts,
-        "peers": peers,
-    }
+    from repro.shard.state import federation_state
+
+    return federation_state(prepared, stats)
 
 
 def _level_heap() -> None:
@@ -387,6 +347,180 @@ def bench_delivery(scenario: str, seed: int = 42, repeats: int = 2) -> dict[str,
         "speedup": naive_s / engine_s if engine_s else float("inf"),
         "deliveries_per_second": deliveries / engine_s if engine_s else float("inf"),
     }
+
+
+def bench_sharding(
+    scenario: str,
+    seed: int = 42,
+    repeats: int = 2,
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    processes: bool | None = None,
+    fork_gate: bool = True,
+) -> dict[str, float]:
+    """Time the sharded multi-process federation engine vs worker count.
+
+    Three-way comparison on identical batch streams: the seed's
+    one-``deliver``-per-activity loop (``naive_seconds``), the PR 5
+    single-process batched engine (``engine_seconds``) and the sharded
+    engine at every requested worker count
+    (``sharded_seconds_workers_N``).  The determinism gate runs the house
+    rule at its hardest setting: the sharded engine's *merged* state —
+    ground truth, generation counters, per-activity moderation-event
+    streams, remote posts, peers, aggregate delivery stats — must be
+    bit-identical to the single-process engine's at **every** worker
+    count, including N=1.
+
+    Timed regions include everything sharding adds (partitioning, worker
+    forks, batch serialisation over the pipes, result pickling and the
+    deterministic merge) but exclude prepare() and stream materialisation,
+    which every path pays identically.  Reported per worker count: speedup
+    over the seed loop (``speedup_workers_N``), the ratio to the
+    single-process engine (``engine_ratio_workers_N``) and scaling
+    efficiency ``T(base)/(N*T(N))`` (``scaling_efficiency_workers_N``,
+    base = 1 worker when measured, else the single-process engine).  The
+    headline ``speedup`` is the seed loop against the best sharded
+    configuration.  The engine's auto mode forks only on multi-CPU hosts
+    (on one CPU the workers would serialise and only pay fork/IPC
+    overhead), so the per-worker-count timings reflect how the engine
+    actually runs on the measuring host — the recorded
+    ``forked_workers_N`` flags say which mode each number measured.  The
+    forked path stays gated everywhere regardless: unless ``fork_gate``
+    is disabled (the ``xxlarge`` stream is too large to pickle twice for
+    a redundant check), one forced 2-worker forked run must merge to the
+    same bits as the single-process engine — see PERFORMANCE.md.
+    """
+    from repro.shard.engine import federate_sharded, fork_available
+
+    config = scenario_config(scenario, seed=seed)
+    generator = FediverseGenerator(config)
+    repeats = max(1, repeats)
+    worker_counts = tuple(worker_counts)
+    if not worker_counts:
+        raise ValueError("worker_counts must not be empty")
+
+    # Single-process reference: the batched engine, the equivalence anchor.
+    engine_s = float("inf")
+    reference_state = None
+    deliveries = 0
+    batches = 0
+    population: dict[str, int] = {}
+    for _ in range(repeats):
+        prepared = generator.prepare()
+        work = list(generator.federation_batches(prepared))
+        delivery = FederationDelivery(prepared.registry, sinks=[])
+        stats = prepared.stats
+        _level_heap()
+        start = time.perf_counter()
+        for batch in work:
+            delivered, rejected = delivery.deliver_batch_counted(
+                batch.activities, batch.target_domain
+            )
+            stats.federated_deliveries += delivered
+            stats.rejected_deliveries += rejected
+        engine_s = min(engine_s, time.perf_counter() - start)
+        if reference_state is None:
+            deliveries = delivery.stats.delivered
+            batches = len(work)
+            reference_state = _federation_state(prepared, delivery.stats)
+            registry_stats = prepared.registry.stats()
+            population = {
+                "instances": registry_stats["instances"],
+                "users": registry_stats["users"],
+                "posts": registry_stats["local_posts"],
+            }
+
+    # Seed-faithful baseline (house rule): the one-at-a-time loop.
+    naive_s = float("inf")
+    for index in range(repeats):
+        prepared = generator.prepare()
+        work = list(generator.federation_batches(prepared))
+        _level_heap()
+        start = time.perf_counter()
+        stats, _ = baselines.naive_federate(prepared.registry, work)
+        naive_s = min(naive_s, time.perf_counter() - start)
+        if index == 0:
+            prepared.stats.federated_deliveries = stats.delivered
+            prepared.stats.rejected_deliveries = stats.rejected
+            _require_equal(
+                _federation_state(prepared, stats),
+                reference_state,
+                "single-process engine diverged from the seed delivery loop",
+            )
+
+    # Sharded runs: every worker count is gated, then timed.
+    sharded_seconds: dict[int, float] = {}
+    forked: dict[int, bool] = {}
+    for n_workers in worker_counts:
+        best = float("inf")
+        for index in range(repeats):
+            prepared = generator.prepare()
+            work = list(generator.federation_batches(prepared))
+            _level_heap()
+            start = time.perf_counter()
+            result = federate_sharded(
+                prepared, work, n_workers, processes=processes
+            )
+            best = min(best, time.perf_counter() - start)
+            if index == 0:
+                forked[n_workers] = result.mode == "fork"
+                _require_equal(
+                    result.state,
+                    reference_state,
+                    f"sharded engine ({n_workers} workers, {result.mode} mode) "
+                    "merged state diverged from the single-process engine",
+                )
+        sharded_seconds[n_workers] = best
+
+    # Fork-mode determinism gate: auto mode only forks on multi-CPU
+    # hosts, but the bit-identity contract covers both execution modes on
+    # every host — force one forked run and hold it to the same bar.
+    fork_gate_s = 0.0
+    if fork_gate and fork_available():
+        prepared = generator.prepare()
+        work = list(generator.federation_batches(prepared))
+        _level_heap()
+        start = time.perf_counter()
+        result = federate_sharded(prepared, work, 2, processes=True)
+        fork_gate_s = time.perf_counter() - start
+        _require_equal(
+            result.state,
+            reference_state,
+            "sharded engine (2 workers, forced fork mode) merged state "
+            "diverged from the single-process engine",
+        )
+
+    best_sharded = min(sharded_seconds.values())
+    base_n = 1 if 1 in sharded_seconds else None
+    base_s = sharded_seconds[1] if base_n else engine_s
+    metrics = {
+        "deliveries": float(deliveries),
+        "batches": float(batches),
+        "instances": float(population["instances"]),
+        "users": float(population["users"]),
+        "posts": float(population["posts"]),
+        "fork_available": 1.0 if fork_available() else 0.0,
+        "fork_gate_seconds": fork_gate_s,
+        "engine_seconds": engine_s,
+        "naive_seconds": naive_s,
+        "sharded_seconds": best_sharded,
+        "speedup": naive_s / best_sharded if best_sharded else float("inf"),
+        "deliveries_per_second": (
+            deliveries / best_sharded if best_sharded else float("inf")
+        ),
+    }
+    for n_workers, seconds in sorted(sharded_seconds.items()):
+        metrics[f"sharded_seconds_workers_{n_workers}"] = seconds
+        metrics[f"forked_workers_{n_workers}"] = 1.0 if forked[n_workers] else 0.0
+        metrics[f"speedup_workers_{n_workers}"] = (
+            naive_s / seconds if seconds else float("inf")
+        )
+        metrics[f"engine_ratio_workers_{n_workers}"] = (
+            engine_s / seconds if seconds else float("inf")
+        )
+        metrics[f"scaling_efficiency_workers_{n_workers}"] = (
+            base_s / (n_workers * seconds) if seconds else float("inf")
+        )
+    return metrics
 
 
 def _crawl_state(result: CrawlResult) -> dict[str, Any]:
@@ -717,42 +851,134 @@ def bench_chaos(
 # ---------------------------------------------------------------------- #
 # Scenario runs
 # ---------------------------------------------------------------------- #
+#: Every bench stage, in execution order.
+STAGES: tuple[str, ...] = (
+    "ingestion",
+    "scoring",
+    "corpus",
+    "threshold_sweep",
+    "delivery",
+    "crawl",
+    "chaos",
+    "sharding",
+)
+
+#: Stages that need the analysis pipeline's assembled dataset.
+_PIPELINE_STAGES = frozenset({"ingestion", "scoring", "corpus", "threshold_sweep"})
+
+
+def default_stages(scenario: str) -> tuple[str, ...]:
+    """Return the stages a scenario runs when none are requested.
+
+    ``xxlarge`` exists for the sharded engine alone — a 100k-instance
+    crawl/analysis pass is exactly what the scenario is *not* for — so it
+    defaults to the ``sharding`` stage only.
+    """
+    if scenario == "xxlarge":
+        return ("sharding",)
+    return STAGES
+
+
+def default_workers(scenario: str) -> tuple[int, ...]:
+    """Return the worker counts the ``sharding`` stage measures by default."""
+    if scenario == "xxlarge":
+        return (4,)
+    return (1, 2, 4)
+
+
 def run_scenario(
     scenario: str,
     seed: int = 42,
     campaign_days: float = 2.0,
     repeats: int = 3,
+    stages: tuple[str, ...] | None = None,
+    workers: tuple[int, ...] | None = None,
 ) -> BenchReport:
-    """Run every benchmark on one scenario and return the report."""
-    pipeline = ReproPipeline(scenario=scenario, seed=seed, campaign_days=campaign_days)
-    dataset = pipeline.dataset
+    """Run the requested benchmark stages on one scenario.
+
+    ``stages=None`` runs every stage (``sharding`` only for ``xxlarge``);
+    ``workers`` sets the sharding stage's worker counts and is stamped
+    into the report.
+    """
+    if stages is None:
+        stages = default_stages(scenario)
+    unknown = set(stages) - set(STAGES)
+    if unknown:
+        raise ValueError(
+            f"unknown stage(s) {sorted(unknown)}; available: {', '.join(STAGES)}"
+        )
+    if workers is None:
+        workers = default_workers(scenario)
+
     report = BenchReport(scenario=scenario, seed=seed, generated_at=time.time())
-    report.dataset = {
-        "instances": len(dataset.instances),
-        "users": len(dataset.users),
-        "posts": len(dataset.posts),
-        "edges": len(dataset.reject_edges),
-        "policy_settings": len(dataset.policy_settings),
-    }
-    report.metrics["ingestion"] = bench_ingestion(dataset.reject_edges, repeats=repeats)
-    report.metrics["scoring"] = bench_scoring(
-        pipeline.perspective.scorer,
-        [post.content for post in dataset.posts],
-        repeats=repeats,
-    )
-    report.metrics["corpus"] = bench_corpus(
-        pipeline.perspective.scorer,
-        [post.content for post in dataset.posts],
-        repeats=repeats,
-    )
-    report.metrics["threshold_sweep"] = bench_sweep(pipeline, repeats=max(repeats, 5))
-    # Generation/delivery/crawl regenerate the fediverse per repeat; cap
-    # repeats so the harness stays tractable at the large scales.
-    report.metrics["delivery"] = bench_delivery(
-        scenario, seed=seed, repeats=min(repeats, 2)
-    )
-    report.metrics["crawl"] = bench_crawl(scenario, seed=seed, repeats=min(repeats, 2))
-    report.metrics["chaos"] = bench_chaos(scenario, seed=seed, repeats=min(repeats, 2))
+    pipeline = None
+    if _PIPELINE_STAGES & set(stages):
+        pipeline = ReproPipeline(
+            scenario=scenario, seed=seed, campaign_days=campaign_days
+        )
+        dataset = pipeline.dataset
+        report.dataset = {
+            "instances": len(dataset.instances),
+            "users": len(dataset.users),
+            "posts": len(dataset.posts),
+            "edges": len(dataset.reject_edges),
+            "policy_settings": len(dataset.policy_settings),
+        }
+
+    if "ingestion" in stages:
+        report.metrics["ingestion"] = bench_ingestion(
+            pipeline.dataset.reject_edges, repeats=repeats
+        )
+    if "scoring" in stages:
+        report.metrics["scoring"] = bench_scoring(
+            pipeline.perspective.scorer,
+            [post.content for post in pipeline.dataset.posts],
+            repeats=repeats,
+        )
+    if "corpus" in stages:
+        report.metrics["corpus"] = bench_corpus(
+            pipeline.perspective.scorer,
+            [post.content for post in pipeline.dataset.posts],
+            repeats=repeats,
+        )
+    if "threshold_sweep" in stages:
+        report.metrics["threshold_sweep"] = bench_sweep(
+            pipeline, repeats=max(repeats, 5)
+        )
+    # Generation/delivery/crawl stages regenerate the fediverse per repeat;
+    # cap repeats so the harness stays tractable at the large scales.
+    if "delivery" in stages:
+        report.metrics["delivery"] = bench_delivery(
+            scenario, seed=seed, repeats=min(repeats, 2)
+        )
+    if "crawl" in stages:
+        report.metrics["crawl"] = bench_crawl(
+            scenario, seed=seed, repeats=min(repeats, 2)
+        )
+    if "chaos" in stages:
+        report.metrics["chaos"] = bench_chaos(
+            scenario, seed=seed, repeats=min(repeats, 2)
+        )
+    if "sharding" in stages:
+        report.workers = list(workers)
+        report.metrics["sharding"] = bench_sharding(
+            scenario,
+            seed=seed,
+            repeats=1 if scenario == "xxlarge" else min(repeats, 2),
+            worker_counts=workers,
+            # The xxlarge stream is too large to pickle once more for a
+            # redundant forced-fork check; smaller scenarios gate it.
+            fork_gate=scenario != "xxlarge",
+        )
+        if not report.dataset:
+            # Sharding-only runs (xxlarge) never assemble a crawl dataset;
+            # report the generated population instead.
+            sharding = report.metrics["sharding"]
+            report.dataset = {
+                "instances": int(sharding["instances"]),
+                "users": int(sharding["users"]),
+                "posts": int(sharding["posts"]),
+            }
     return report
 
 

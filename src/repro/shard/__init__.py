@@ -1,0 +1,39 @@
+"""Sharded multi-process federation (the road to millions of users).
+
+Partitions the registry by domain hash into N shards, runs one worker per
+shard over its slice of the federation batch stream, and merges the
+workers' captured state deterministically — bit-identical to the
+single-process engine for a fixed seed at every worker count.  See
+:mod:`repro.shard.engine` for the architecture and
+:mod:`repro.shard.state` for the ownership argument behind the merge.
+"""
+
+from repro.shard.engine import (
+    ShardedRunResult,
+    federate_sharded,
+    fork_available,
+    run_sharded,
+)
+from repro.shard.partition import partition_batches, partition_domains, shard_of
+from repro.shard.state import (
+    ShardResult,
+    capture_shard,
+    delivered_pairs,
+    federation_state,
+    merge_shard_results,
+)
+
+__all__ = [
+    "ShardResult",
+    "ShardedRunResult",
+    "capture_shard",
+    "delivered_pairs",
+    "federate_sharded",
+    "federation_state",
+    "fork_available",
+    "merge_shard_results",
+    "partition_batches",
+    "partition_domains",
+    "run_sharded",
+    "shard_of",
+]

@@ -1,0 +1,296 @@
+"""The sharded multi-process federation engine.
+
+The coordinator prepares the fediverse (a fully deterministic function of
+the config seed), materialises the federation batch stream — paying the
+stream's RNG draws and peer side effects exactly once, in the same order
+as the single-process engine — and partitions the batches by the shard
+owning each target domain.  One worker per shard then delivers its slice
+through a private :class:`~repro.activitypub.delivery.FederationDelivery`
+and captures its owned instances' post-delivery state; the coordinator
+merges the captures deterministically (see :mod:`repro.shard.state`).
+
+Two execution modes share the same partition/deliver/capture/merge path:
+
+* ``fork`` — one forked worker process per shard.  Workers inherit the
+  prepared registry copy-on-write; their batch slices are exchanged as
+  serialised activity batches over :mod:`multiprocessing` pipes (so a
+  batch originating on shard A's instance and targeting shard B's travels
+  through shard B's pipe), and each worker sends one pickled
+  :class:`~repro.shard.state.ShardResult` back.  The coordinator drains
+  result pipes in shard order — workers never talk to each other, so no
+  exchange can deadlock.
+* ``inline`` — shards run sequentially in the coordinator process.  The
+  fallback for platforms without ``fork``, the fast path for
+  ``n_workers == 1``, and the automatic choice on single-CPU hosts
+  (where forked workers would serialise anyway and only pay fork/IPC
+  overhead); it exercises the identical partition, capture and merge
+  machinery, which is what the determinism gate leans on.
+
+Deliveries to different targets are independent (all mutated state lives
+on the receiving instance; the shared decision caches are value-
+transparent), so any interleaving of shard execution produces the same
+merged state — the engine's central invariant, asserted bit-identically
+against the single-process engine by the ``sharding`` bench stage and the
+twin-run fuzz tests.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.activitypub.delivery import FederationDelivery
+from repro.shard.partition import partition_batches
+from repro.shard.state import (
+    ShardResult,
+    capture_shard,
+    delivered_pairs,
+    merge_shard_results,
+)
+from repro.synth.generator import (
+    FederationBatch,
+    FediverseGenerator,
+    PreparedFediverse,
+)
+
+
+@dataclass
+class ShardedRunResult:
+    """The outcome of one sharded federation run."""
+
+    n_workers: int
+    #: ``"fork"`` or ``"inline"``.
+    mode: str
+    batches: int
+    delivered: int
+    rejected: int
+    batch_rejects: int
+    batch_rewrites: int
+    #: Batches processed by each shard, in shard order.
+    shard_batches: tuple[int, ...]
+    #: Merged federation-state snapshot, shaped exactly like
+    #: :func:`repro.shard.state.federation_state`.
+    state: dict[str, Any]
+
+
+def fork_available() -> bool:
+    """Return ``True`` when the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity/cgroup-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _deliver_batches(
+    registry, batches: Sequence[FederationBatch]
+) -> tuple[FederationDelivery, int, int]:
+    """Deliver one shard's batch slice through a private delivery engine."""
+    delivery = FederationDelivery(registry, sinks=[])
+    delivered = rejected = 0
+    for batch in batches:
+        batch_delivered, batch_rejected = delivery.deliver_batch_counted(
+            batch.activities, batch.target_domain
+        )
+        delivered += batch_delivered
+        rejected += batch_rejected
+    return delivery, delivered, rejected
+
+
+def _shard_worker(shard: int, n_shards: int, registry, in_conn, out_conn) -> None:
+    """Worker-process body: receive a batch slice, deliver, send the capture.
+
+    The registry is inherited copy-on-write through ``fork``; the garbage
+    collector is disabled so cycle collection never touches (and thereby
+    copies) the parent's heap pages — the worker is short-lived and its
+    whole heap dies with the process.
+    """
+    try:
+        gc.disable()
+        batches = in_conn.recv()
+        in_conn.close()
+        delivery, delivered, rejected = _deliver_batches(registry, batches)
+        result = capture_shard(
+            shard,
+            registry.shard_instances(shard, n_shards),
+            delivery.stats,
+            delivered,
+            rejected,
+            delivery.batch_rejects,
+            delivery.batch_rewrites,
+        )
+        out_conn.send(("ok", result))
+    except BaseException:  # noqa: BLE001 - report any worker death to the coordinator
+        out_conn.send(("error", traceback.format_exc()))
+    finally:
+        out_conn.close()
+
+
+def _run_forked(
+    registry, shards: list[list[FederationBatch]]
+) -> list[ShardResult]:
+    """Run one forked worker per shard and collect their captures in order."""
+    ctx = multiprocessing.get_context("fork")
+    n_shards = len(shards)
+    workers = []
+    # Freeze the heap into the permanent generation before forking: the
+    # parent keeps collecting while workers run, and unfrozen objects
+    # would be re-examined (and their pages copied) in every child.
+    gc.freeze()
+    try:
+        for shard in range(n_shards):
+            in_recv, in_send = ctx.Pipe(duplex=False)
+            out_recv, out_send = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_shard_worker,
+                args=(shard, n_shards, registry, in_recv, out_send),
+                daemon=True,
+            )
+            process.start()
+            # Close the child's ends in the coordinator so a dead worker
+            # surfaces as EOF instead of a hang.
+            in_recv.close()
+            out_send.close()
+            workers.append((process, in_send, out_recv))
+    finally:
+        gc.unfreeze()
+
+    results: list[ShardResult] = []
+    try:
+        # Ship every shard its serialised batch slice first; each worker
+        # starts by draining its input pipe, so the sends cannot deadlock
+        # against the (later, in-order) result reads.
+        for shard, (_, in_send, _) in enumerate(workers):
+            in_send.send(shards[shard])
+            in_send.close()
+        for shard, (_, _, out_recv) in enumerate(workers):
+            try:
+                status, payload = out_recv.recv()
+            except EOFError:
+                raise RuntimeError(
+                    f"shard worker {shard} exited without sending a result"
+                ) from None
+            if status != "ok":
+                raise RuntimeError(f"shard worker {shard} failed:\n{payload}")
+            results.append(payload)
+    finally:
+        for process, _, out_recv in workers:
+            out_recv.close()
+            process.join(timeout=30.0)
+            if process.is_alive():  # pragma: no cover - defensive cleanup
+                process.terminate()
+                process.join()
+    return results
+
+
+def _run_inline(
+    registry, shards: list[list[FederationBatch]]
+) -> list[ShardResult]:
+    """Run every shard sequentially in the coordinator process."""
+    n_shards = len(shards)
+    results = []
+    for shard, batches in enumerate(shards):
+        delivery, delivered, rejected = _deliver_batches(registry, batches)
+        results.append(
+            capture_shard(
+                shard,
+                registry.shard_instances(shard, n_shards),
+                delivery.stats,
+                delivered,
+                rejected,
+                delivery.batch_rejects,
+                delivery.batch_rewrites,
+            )
+        )
+    return results
+
+
+def federate_sharded(
+    prepared: PreparedFediverse,
+    work: Iterable[FederationBatch],
+    n_workers: int,
+    *,
+    processes: bool | None = None,
+) -> ShardedRunResult:
+    """Deliver a materialised batch stream through ``n_workers`` shards.
+
+    ``processes=None`` (the default) forks workers when ``n_workers > 1``,
+    the platform supports ``fork`` and more than one CPU is usable (a
+    worker pool on a single-CPU host serialises anyway, so auto mode runs
+    the same partitioned work inline rather than paying fork and pipe
+    overhead for nothing); ``True``/``False`` force the respective mode.  Returns the merged
+    federation-state snapshot — in fork mode the coordinator's registry is
+    left untouched (workers mutate copy-on-write copies), so the snapshot,
+    not the live registry, is the run's delivered state.
+    """
+    n_workers = int(n_workers)
+    if n_workers < 1:
+        raise ValueError("n_workers must be at least 1")
+    work = list(work)
+    shards = partition_batches(work, n_workers)
+    pairs = delivered_pairs(work)
+
+    if processes is None:
+        processes = n_workers > 1 and fork_available() and usable_cpus() > 1
+    if processes and not fork_available():
+        raise RuntimeError(
+            "process-based sharding requires the fork start method; "
+            "pass processes=False for the inline engine"
+        )
+
+    if processes:
+        results = _run_forked(prepared.registry, shards)
+        mode = "fork"
+    else:
+        try:
+            results = _run_inline(prepared.registry, shards)
+        finally:
+            # Mirror FediverseGenerator.federate: the shared decision
+            # caches only pay off within one run, and dropping them keeps
+            # delivered posts from outliving the run.  (Forked workers'
+            # caches die with their processes.)
+            from repro.mrf.shared import clear_shared_state
+
+            clear_shared_state()
+        mode = "inline"
+
+    state = merge_shard_results(prepared, results, pairs)
+    return ShardedRunResult(
+        n_workers=n_workers,
+        mode=mode,
+        batches=len(work),
+        delivered=sum(result.delivered for result in results),
+        rejected=sum(result.rejected for result in results),
+        batch_rejects=sum(result.batch_rejects for result in results),
+        batch_rewrites=sum(result.batch_rewrites for result in results),
+        shard_batches=tuple(len(batches) for batches in shards),
+        state=state,
+    )
+
+
+def run_sharded(
+    config,
+    n_workers: int,
+    *,
+    processes: bool | None = None,
+) -> tuple[PreparedFediverse, ShardedRunResult]:
+    """Prepare a fediverse from ``config`` and federate it sharded.
+
+    The end-to-end entry point (used by the ``xxlarge`` scenario): prepare
+    is run once in the coordinator, the batch stream is materialised once,
+    and the sharded engine does the delivery work.
+    """
+    generator = FediverseGenerator(config)
+    prepared = generator.prepare()
+    work = list(generator.federation_batches(prepared))
+    return prepared, federate_sharded(
+        prepared, work, n_workers, processes=processes
+    )

@@ -1,0 +1,250 @@
+"""Per-shard state capture and the deterministic cross-shard merge.
+
+One module owns the *shape* of the federation-state snapshot — the
+structure the perf harness has asserted bit-identical between every
+delivery engine and the seed loop since PR 2 — so the single-process
+snapshot (:func:`federation_state`) and the sharded engine's merged
+snapshot (:func:`merge_shard_results`) can never drift apart: both are
+built from the same per-instance capture helpers.
+
+Ownership argument (why the merge is exact):
+
+* *Events and remote posts* arise only from deliveries **to** an
+  instance, and every batch targets one domain, so the shard owning that
+  domain sees the instance's complete delivery stream in stream order.
+  Captured maps from different shards are disjoint and their union is
+  total.
+* *Peers* grow on **both** sides of a delivery
+  (:meth:`~repro.fediverse.registry.FediverseRegistry.federate_normalised`),
+  so a worker would under-report the origin side of cross-shard batches.
+  The coordinator instead derives the delivered (origin, target) pairs
+  straight from the batch stream — exactly the pairs the single-process
+  engine records, since peer bookkeeping happens per batch regardless of
+  the moderation outcome — and unions them onto the pre-delivery peer
+  sets.  Peer sets only ever grow and are compared sorted, so the union
+  is order-insensitive.
+* *Stats* are plain counters and sum across shards; ground truth and the
+  generation-side counters are planted before federation and never
+  touched by delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.activitypub.delivery import FederationStats
+    from repro.fediverse.instance import Instance
+    from repro.synth.generator import PreparedFediverse
+
+
+def capture_events(instance: "Instance") -> tuple:
+    """Snapshot one instance's moderation-event stream (order-preserving)."""
+    return tuple(
+        (
+            event.timestamp,
+            event.moderating_domain,
+            event.origin_domain,
+            event.policy,
+            event.action,
+            event.activity_type,
+            event.accepted,
+            event.reason,
+        )
+        for event in instance.mrf.events
+    )
+
+
+def capture_remote_posts(instance: "Instance") -> tuple:
+    """Snapshot one instance's accepted remote-post state (sorted by id).
+
+    Activity ids are process-global-counter-based and differ between runs
+    (and between a forked worker and the coordinator), so only the
+    value-bearing post fields are captured.
+    """
+    return tuple(
+        (
+            post_id,
+            post.visibility.value,
+            post.sensitive,
+            len(post.attachments),
+            tuple(sorted(post.extra.items())),
+        )
+        for post_id, post in sorted(instance.remote_posts.items())
+    )
+
+
+def delivery_stats_tuple(stats: "FederationStats") -> tuple:
+    """Snapshot the aggregate delivery counters."""
+    return (
+        stats.delivered,
+        stats.accepted,
+        stats.rejected,
+        stats.modified,
+        tuple(sorted(stats.by_policy.items())),
+    )
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard's worker sends back to the coordinator.
+
+    Plain dicts, tuples and ints throughout, so the result pickles cleanly
+    through a :mod:`multiprocessing` pipe.
+    """
+
+    shard: int
+    delivered: int = 0
+    rejected: int = 0
+    batch_rejects: int = 0
+    batch_rewrites: int = 0
+    #: ``(delivered, accepted, rejected, modified, by_policy_items)``.
+    stats: tuple = (0, 0, 0, 0, ())
+    #: Owned domain -> captured moderation-event stream.
+    events: dict[str, tuple] = field(default_factory=dict)
+    #: Owned domain -> captured remote-post state.
+    remote_posts: dict[str, tuple] = field(default_factory=dict)
+
+
+def capture_shard(
+    shard: int,
+    instances: Iterable["Instance"],
+    delivery_stats: "FederationStats",
+    delivered: int,
+    rejected: int,
+    batch_rejects: int,
+    batch_rewrites: int,
+) -> ShardResult:
+    """Capture the post-delivery state of one shard's owned instances."""
+    result = ShardResult(
+        shard=shard,
+        delivered=delivered,
+        rejected=rejected,
+        batch_rejects=batch_rejects,
+        batch_rewrites=batch_rewrites,
+        stats=delivery_stats_tuple(delivery_stats),
+    )
+    for instance in instances:
+        result.events[instance.domain] = capture_events(instance)
+        result.remote_posts[instance.domain] = capture_remote_posts(instance)
+    return result
+
+
+def federation_state(
+    prepared: "PreparedFediverse", stats: "FederationStats"
+) -> dict[str, Any]:
+    """Snapshot everything federation can influence, for equivalence checks.
+
+    The single-process snapshot: per-instance moderation-event streams,
+    full remote-post state, peer sets, ground truth, generation counters
+    and the aggregate delivery stats.  The sharded engine's
+    :func:`merge_shard_results` produces a dict of exactly this shape.
+    """
+    registry = prepared.registry
+    events = {}
+    remote_posts = {}
+    peers = {}
+    for instance in registry.instances():
+        events[instance.domain] = capture_events(instance)
+        remote_posts[instance.domain] = capture_remote_posts(instance)
+        peers[instance.domain] = tuple(sorted(instance.peers))
+    generation = prepared.stats
+    return {
+        "ground_truth": prepared.ground_truth.summary(),
+        "generation_stats": (
+            generation.users,
+            generation.posts,
+            generation.federated_deliveries,
+            generation.rejected_deliveries,
+        ),
+        "delivery_stats": delivery_stats_tuple(stats),
+        "events": events,
+        "remote_posts": remote_posts,
+        "peers": peers,
+    }
+
+
+def delivered_pairs(batches: Iterable) -> dict[str, set[str]]:
+    """Derive the peer pairs delivery records, straight from the batch stream.
+
+    The engine's batch validation federates every (origin, target) pair
+    exactly once per batch — before moderation, so rejected batches count
+    too.  Reading the pairs off the stream therefore reproduces the peer
+    side effect without any worker having to report it.
+    """
+    pairs: dict[str, set[str]] = {}
+    for batch in batches:
+        origin = batch.origin_domain
+        target = batch.target_domain
+        if origin == target:
+            continue
+        pairs.setdefault(origin, set()).add(target)
+        pairs.setdefault(target, set()).add(origin)
+    return pairs
+
+
+def merge_shard_results(
+    prepared: "PreparedFediverse",
+    results: Sequence[ShardResult],
+    pairs: dict[str, set[str]],
+) -> dict[str, Any]:
+    """Merge per-shard captures into one :func:`federation_state`-shaped dict.
+
+    The merge is deterministic by construction: shards are folded in shard
+    index order, per-shard capture maps are disjoint by the ownership
+    argument (each domain is captured by exactly one shard), counters are
+    summed, and peer sets are unioned then sorted.
+    """
+    ordered = sorted(results, key=lambda result: result.shard)
+    events: dict[str, tuple] = {}
+    remote_posts: dict[str, tuple] = {}
+    delivered = accepted = rejected = modified = 0
+    by_policy: dict[str, int] = {}
+    stream_delivered = stream_rejected = 0
+    for result in ordered:
+        for domain, captured in result.events.items():
+            if domain in events:
+                raise RuntimeError(
+                    f"domain {domain} captured by more than one shard"
+                )
+            events[domain] = captured
+        remote_posts.update(result.remote_posts)
+        shard_delivered, shard_accepted, shard_rejected, shard_modified, policies = (
+            result.stats
+        )
+        delivered += shard_delivered
+        accepted += shard_accepted
+        rejected += shard_rejected
+        modified += shard_modified
+        for policy, count in policies:
+            by_policy[policy] = by_policy.get(policy, 0) + count
+        stream_delivered += result.delivered
+        stream_rejected += result.rejected
+
+    peers = {}
+    for instance in prepared.registry.instances():
+        extra = pairs.get(instance.domain)
+        merged = instance.peers if extra is None else instance.peers | extra
+        peers[instance.domain] = tuple(sorted(merged))
+
+    generation = prepared.stats
+    return {
+        "ground_truth": prepared.ground_truth.summary(),
+        "generation_stats": (
+            generation.users,
+            generation.posts,
+            generation.federated_deliveries + stream_delivered,
+            generation.rejected_deliveries + stream_rejected,
+        ),
+        "delivery_stats": (
+            delivered,
+            accepted,
+            rejected,
+            modified,
+            tuple(sorted(by_policy.items())),
+        ),
+        "events": events,
+        "remote_posts": remote_posts,
+        "peers": peers,
+    }

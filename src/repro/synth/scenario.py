@@ -53,6 +53,18 @@ SCENARIOS: dict[str, dict] = {
         "churn_window_days": 2.0,
         "fault_profile": "mixed",
     },
+    # Beyond-everything scale, reachable only by the sharded federation
+    # engine (repro.shard): ≥100k instances (~15.5k Pleroma + ~85k other)
+    # holding about a million users.  Per-user post volume and per-peer
+    # federation samples are trimmed so the coordinator's prepare() stays
+    # tractable; the perf harness runs only the `sharding` stage here.
+    "xxlarge": {
+        "n_pleroma_instances": 15_500,
+        "campaign_days": 30.0,
+        "mainstream_mean_users": 62.0,
+        "mean_posts_per_user": 1.5,
+        "federation_posts_per_peer": 5,
+    },
     # Instance population matching the paper's 1,534 Pleroma instances.
     "paper": {
         "n_pleroma_instances": 1534,

@@ -281,3 +281,39 @@ class TestSolutions:
         evaluator = SolutionEvaluator(handmade_dataset, repeat_offender_limit=10)
         outcome = evaluator.evaluate(ModerationStrategy.REPEAT_OFFENDER_ESCALATION)
         assert outcome.users_blocked == 0
+
+
+class TestSharedLabeller:
+    """Analysis components without an explicit labeller share one interned
+    default per dataset — one client, one corpus-column store — with labels
+    bitwise identical to privately computed ones."""
+
+    def test_default_labeller_is_interned_per_dataset(self, handmade_dataset):
+        shared = HarmfulnessLabeller.shared(handmade_dataset)
+        assert HarmfulnessLabeller.shared(handmade_dataset) is shared
+        assert InstanceAnnotator(handmade_dataset).labeller is shared
+        assert CollateralAnalyzer(handmade_dataset).labeller is shared
+        assert RejectAnalyzer(handmade_dataset).labeller is shared
+        assert SolutionEvaluator(handmade_dataset).labeller is shared
+        # A different dataset gets its own labeller.
+        other = Dataset()
+        assert HarmfulnessLabeller.shared(other) is not shared
+
+    def test_explicit_labeller_still_wins(self, handmade_dataset):
+        private = HarmfulnessLabeller(handmade_dataset)
+        annotator = InstanceAnnotator(handmade_dataset, labeller=private)
+        assert annotator.labeller is private
+        assert annotator.labeller is not HarmfulnessLabeller.shared(handmade_dataset)
+
+    def test_shared_annotation_bitwise_identical_to_private(self, handmade_dataset):
+        private = InstanceAnnotator(
+            handmade_dataset, labeller=HarmfulnessLabeller(handmade_dataset)
+        )
+        shared = InstanceAnnotator(handmade_dataset)
+        a = private.annotate_rejected()
+        b = shared.annotate_rejected()
+        assert a.annotations == b.annotations
+        assert a.category_counts == b.category_counts
+        assert a.annotatable_share == b.annotatable_share
+        assert a.harmful_category_share == b.harmful_category_share
+        assert a.general_share == b.general_share

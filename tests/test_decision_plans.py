@@ -433,3 +433,155 @@ class TestSharedRewriteLedger:
         assert rewrites_a == rewrites_b == 1
         assert decisions_a[0] is decisions_b[0]
         assert decisions_a[0].post.visibility is Visibility.UNLISTED
+
+
+class TestSimplePolicyStagedRewrites:
+    """SimplePolicy's origin-triggered, content-independent rewrite actions
+    (media_removal, media_nsfw, followers_only, federated_timeline_removal)
+    run as SharedRewrite stages on the batch fast path — bit-identical to
+    the seed's per-activity walk."""
+
+    ORIGIN = "staged.example"
+    LOCAL = "local.example"
+
+    STAGEABLE_COMBOS = (
+        ("media_removal",),
+        ("media_nsfw",),
+        ("followers_only",),
+        ("federated_timeline_removal",),
+        ("media_removal", "media_nsfw", "federated_timeline_removal"),
+        ("media_nsfw", "followers_only"),
+    )
+
+    def build_pipeline(self, actions, extra_policy=None):
+        pipeline = MRFPipeline(local_domain=self.LOCAL)
+        pipeline.add_policy(SimplePolicy(**{a: [self.ORIGIN] for a in actions}))
+        if extra_policy is not None:
+            pipeline.add_policy(extra_policy)
+        return pipeline
+
+    def post_variants(self):
+        """Every (media, sensitive, visibility) slice, fresh and stale."""
+        activities = []
+        for created_at in (NOW - 600.0, 0.0):
+            for has_media in (False, True):
+                for sensitive in (False, True):
+                    for visibility in (
+                        Visibility.PUBLIC,
+                        Visibility.UNLISTED,
+                        Visibility.FOLLOWERS_ONLY,
+                    ):
+                        kwargs = dict(
+                            created_at=created_at,
+                            sensitive=sensitive,
+                            visibility=visibility,
+                        )
+                        if has_media:
+                            kwargs["attachments"] = (
+                                MediaAttachment(url=f"https://{self.ORIGIN}/a.png"),
+                            )
+                        activities.append(
+                            make_activity(domain=self.ORIGIN, **kwargs)
+                        )
+        return activities
+
+    @staticmethod
+    def post_view(activity):
+        post = activity.post
+        if post is None:
+            return None
+        return (
+            len(post.attachments),
+            post.sensitive,
+            post.visibility,
+            tuple(sorted(post.extra.items())),
+            tuple(sorted(activity.extra.items())),
+        )
+
+    def extra_policies(self):
+        from repro.mrf.visibility import RejectNonPublic
+
+        return (
+            lambda: None,
+            lambda: ObjectAgePolicy(),
+            lambda: RejectNonPublic(),
+        )
+
+    def test_staged_batches_match_uncompiled(self):
+        """The equivalence gate: apply_batch (staged) against the seed walk
+        for every stageable combination, alone and stacked with another
+        shared-rewrite policy and with a visibility-triggered residual."""
+        for actions in self.STAGEABLE_COMBOS:
+            for make_extra in self.extra_policies():
+                fast = self.build_pipeline(actions, make_extra())
+                slow = self.build_pipeline(actions, make_extra())
+                activities = self.post_variants()
+                shared, decisions, _ = fast.apply_batch(
+                    activities, self.ORIGIN, now=NOW
+                )
+                assert shared is None
+                slow_decisions = [
+                    slow.filter_uncompiled(a, now=NOW) for a in activities
+                ]
+                for fast_d, slow_d, activity in zip(
+                    decisions, slow_decisions, activities
+                ):
+                    if fast_d is None:
+                        assert slow_d.accepted and not slow_d.modified
+                        continue
+                    assert decision_view(fast_d) == decision_view(slow_d)
+                    assert self.post_view(fast_d.activity) == self.post_view(
+                        slow_d.activity
+                    )
+                assert event_view(fast) == event_view(slow)
+
+    def test_stageable_actions_take_the_staged_path(self):
+        compiled = self.build_pipeline(
+            ("media_nsfw", "federated_timeline_removal")
+        ).compiled()
+        program = compiled.program_for(self.ORIGIN, self.LOCAL)
+        assert not program.general
+        assert [name for name, _ in program.stages] == ["SimplePolicy"]
+        # Non-matching origins skip the stage entirely without going general.
+        other = compiled.program_for("elsewhere.example", self.LOCAL)
+        assert not other.general and not other.stages
+
+    def test_unstageable_actions_fall_back_to_the_walk(self):
+        """Actions that touch the actor or depend on the activity type
+        cannot be expressed as post-slice outcomes."""
+        for action in (
+            "avatar_removal",
+            "banner_removal",
+            "reject_deletes",
+            "report_removal",
+        ):
+            program = (
+                self.build_pipeline((action,))
+                .compiled()
+                .program_for(self.ORIGIN, self.LOCAL)
+            )
+            assert program.general, action
+
+    def test_produced_visibility_guards_the_stage(self):
+        """followers_only produces FOLLOWERS_ONLY posts; stacked with a
+        policy triggered by that visibility the program must go general,
+        while a visibility-neutral stage stays staged."""
+        from repro.mrf.visibility import RejectNonPublic
+
+        guarded = self.build_pipeline(("followers_only",), RejectNonPublic())
+        assert guarded.compiled().program_for(self.ORIGIN, self.LOCAL).general
+        neutral = self.build_pipeline(("media_nsfw",), RejectNonPublic())
+        program = neutral.compiled().program_for(self.ORIGIN, self.LOCAL)
+        assert not program.general and program.stages
+
+    def test_rewritten_copies_share_through_the_ledger(self):
+        """Two instances applying the same actions to the same post must
+        come out holding one rewritten copy between them."""
+        first = self.build_pipeline(("media_nsfw",))
+        second = self.build_pipeline(("media_nsfw",))
+        activity = make_activity(domain=self.ORIGIN)
+        _, decisions_a, _ = first.apply_batch([activity], self.ORIGIN, now=NOW)
+        _, decisions_b, _ = second.apply_batch([activity], self.ORIGIN, now=NOW)
+        assert decisions_a[0].modified and decisions_b[0].modified
+        assert decisions_a[0].activity.post is decisions_b[0].activity.post
+        assert decisions_a[0].activity.post.sensitive

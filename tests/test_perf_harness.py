@@ -32,6 +32,7 @@ def test_report_contains_every_benchmark(tiny_report) -> None:
         "delivery",
         "crawl",
         "chaos",
+        "sharding",
     }
     for section, metrics in report.metrics.items():
         if section == "chaos":
@@ -59,6 +60,16 @@ def test_report_contains_every_benchmark(tiny_report) -> None:
     assert report.metrics["chaos"]["faults_injected"] > 0.0
     assert 0.0 <= report.metrics["chaos"]["recovery_rate"] <= 1.0
     assert report.metrics["chaos"]["reject_recall_none"] > 0.0
+    # The sharding stage passed its bit-identity gates (it raises otherwise)
+    # and measured every default worker count.
+    assert report.metrics["sharding"]["deliveries"] > 0.0
+    if report.metrics["sharding"]["fork_available"]:
+        # The forced-fork determinism gate ran (and passed — it raises).
+        assert report.metrics["sharding"]["fork_gate_seconds"] > 0.0
+    for n in (1, 2, 4):
+        assert report.metrics["sharding"][f"sharded_seconds_workers_{n}"] > 0.0
+        assert report.metrics["sharding"][f"scaling_efficiency_workers_{n}"] > 0.0
+    assert report.workers == [1, 2, 4]
     assert report.dataset["posts"] > 0
 
 
