@@ -15,6 +15,7 @@ See PERFORMANCE.md for what each number means.
 from __future__ import annotations
 
 import argparse
+import faulthandler
 import sys
 from pathlib import Path
 
@@ -59,6 +60,35 @@ def _print_scaling_table(metrics: dict, workers: list[int]) -> None:
         )
 
 
+def _print_shard_chaos(metrics: dict) -> None:
+    """Print the shard_chaos stage's worker-death recovery summary."""
+    if not metrics.get("fork_available"):
+        print(
+            f"   {'shard_chaos':16s} skipped (fork unavailable on this platform)"
+        )
+        return
+    print(
+        f"   {'shard_chaos':16s} recovery {metrics['recovery_rate']:.3f} "
+        f"({metrics['recovered_shards']:.0f}/{metrics['failed_shards']:.0f} "
+        f"failed shards), "
+        f"{metrics['inline_fallbacks']:.0f} inline fallbacks, "
+        f"retry cost {metrics['recovery_retry_seconds'] * 1000:.0f} ms"
+    )
+    print(
+        f"   {'':16s} zero-fault supervised "
+        f"{metrics['supervised_seconds'] * 1000:9.2f} ms vs unsupervised "
+        f"{metrics['unsupervised_seconds'] * 1000:9.2f} ms "
+        f"-> {metrics['zero_fault_overhead']:.2f}x overhead"
+    )
+    kinds = ", ".join(
+        f"{key[len('recovered_'):]} {value:.0f}"
+        for key, value in sorted(metrics.items())
+        if key.startswith("recovered_") and key != "recovered_shards"
+    )
+    if kinds:
+        print(f"   {'':16s} recovered by kind: {kinds}")
+
+
 def _print_report(report: BenchReport) -> None:
     print(f"== {report.scenario} (seed {report.seed}) ==")
     print(
@@ -68,6 +98,9 @@ def _print_report(report: BenchReport) -> None:
     for section, metrics in report.metrics.items():
         if section == "sharding":
             _print_scaling_table(metrics, report.workers)
+            continue
+        if section == "shard_chaos":
+            _print_shard_chaos(metrics)
             continue
         if "recovery_rate" in metrics:
             print(
@@ -119,13 +152,15 @@ def _check_speedups(reports: list[BenchReport], minimum: float) -> list[str]:
 
 
 def _check_recovery(reports: list[BenchReport], minimum: float) -> list[str]:
-    """Return one line per chaos stage whose recovery rate is below ``minimum``.
+    """Return one line per stage whose recovery rate is below ``minimum``.
 
-    The CI smoke job runs with ``--min-recovery``: the chaos stage already
-    gates zero-fault reproduction and same-seed determinism internally
-    (raising on divergence), and this check additionally fails the job when
-    the resilient crawl recovers less than the given fraction of the
-    fault-free crawl's snapshots.
+    The CI smoke job runs with ``--min-recovery``: the chaos and
+    shard_chaos stages already gate zero-fault reproduction and
+    bit-identical recovery internally (raising on divergence), and this
+    check additionally fails the job when the resilient crawl recovers
+    less than the given fraction of the fault-free crawl's snapshots, or
+    when the shard supervisor recovers less than that fraction of the
+    shards whose workers were killed.
     """
     failures = []
     for report in reports:
@@ -178,13 +213,27 @@ def main(argv: list[str] | None = None) -> int:
         "--min-recovery",
         type=float,
         default=None,
-        help="fail (exit 1) if the chaos stage's recovery rate falls below this",
+        help="fail (exit 1) if the chaos or shard_chaos recovery rate "
+        "falls below this",
+    )
+    parser.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=1800.0,
+        help="dump every thread's stack and abort if one scenario runs longer "
+        "than this many seconds (0 disables)",
     )
     args = parser.parse_args(argv)
     scenarios = tuple(args.scenario) if args.scenario else ("small", "large")
 
     reports = []
     for scenario in scenarios:
+        if args.hang_timeout > 0:
+            # Hang tripwire, re-armed per scenario: if a wedged worker pipe
+            # or supervisor poll loop ever stalls the harness, faulthandler
+            # dumps every thread's stack to stderr and kills the process,
+            # instead of the CI job idling until its global timeout.
+            faulthandler.dump_traceback_later(args.hang_timeout, exit=True)
         report = run_scenario(
             scenario,
             seed=args.seed,
@@ -197,6 +246,7 @@ def main(argv: list[str] | None = None) -> int:
         _print_report(report)
         print(f"   wrote {path}")
         reports.append(report)
+    faulthandler.cancel_dump_traceback_later()
 
     if args.min_speedup is not None:
         failures = _check_speedups(reports, args.min_speedup)

@@ -523,6 +523,271 @@ def bench_sharding(
     return metrics
 
 
+#: Which supervisor classification each injected worker-death kind must
+#: surface as (the shard_chaos stage's classification gate).
+_EXPECTED_CLASSIFICATION = {
+    "crash_early": "eof",
+    "crash_late": "eof",
+    "hang": "deadline",
+    "corrupt": "corrupt",
+    "error": "error",
+}
+
+
+def bench_shard_chaos(
+    scenario: str,
+    seed: int = 42,
+    repeats: int = 2,
+    worker_counts: tuple[int, ...] = (2, 4),
+    fault_seed: int = 4242,
+    deadline_seconds: float = 3.0,
+    max_zero_fault_overhead: float = 2.0,
+) -> dict[str, float]:
+    """Measure the supervised sharded engine under dying workers.
+
+    The process-level twin of the ``chaos`` stage, and the house rule at
+    its hardest setting.  Gates (all raising on divergence):
+
+    - *recovery bit-identity*: for **every** injected worker-death kind
+      (crash-before-recv, crash-after-delivery, hang past the deadline,
+      corrupt result pickle, clean error report) at every requested worker
+      count, the supervised engine's merged federation state must be
+      bit-identical to the fault-free single-process engine — and the
+      supervisor must have classified the failure as the kind predicts;
+    - *retry exhaustion*: a shard whose worker dies on every forked
+      attempt must be recovered by the inline fallback, still bit-identical;
+    - *zero-fault inertness*: a supervised run with no fault plan must be
+      bit-identical to the unsupervised forked engine, report zero
+      retries, and stay within ``max_zero_fault_overhead`` of its
+      wall-clock (supervision adds only polling and heartbeats);
+    - *profile run*: the scenario's ``worker_fault_profile`` knob
+      (``mixed`` when the scenario names none) compiled into a
+      :class:`~repro.faults.workers.WorkerFaultPlan` must also merge
+      bit-identically.
+
+    Reported alongside: recovery overhead (retry wall-clock), failures by
+    kind, inline fallbacks, and ``recovery_rate`` (recovered / failed
+    shards — wired into the CI smoke's ``--min-recovery`` floor).  Every
+    fault run injects real deaths: workers ``os._exit`` mid-protocol,
+    sleep past the deadline, or write garbage down the result pipe.
+    """
+    from repro.faults.workers import WorkerFaultKind, WorkerFaultPlan, WorkerFaultSpec
+    from repro.shard.engine import federate_sharded, fork_available
+    from repro.shard.supervisor import SupervisorConfig
+
+    worker_counts = tuple(worker_counts)
+    if not worker_counts:
+        raise ValueError("worker_counts must not be empty")
+    if not fork_available():  # pragma: no cover - non-fork platforms
+        return {"fork_available": 0.0, "recovery_rate": 1.0}
+
+    config = scenario_config(scenario, seed=seed)
+    generator = FediverseGenerator(config)
+    repeats = max(1, repeats)
+    supervisor = SupervisorConfig(
+        deadline_seconds=deadline_seconds,
+        poll_seconds=0.02,
+        heartbeat_seconds=0.2,
+        max_worker_attempts=2,
+    )
+
+    # Fault-free reference: the single-process batched engine.
+    prepared = generator.prepare()
+    work = list(generator.federation_batches(prepared))
+    delivery = FederationDelivery(prepared.registry, sinks=[])
+    stats = prepared.stats
+    for batch in work:
+        delivered, rejected = delivery.deliver_batch_counted(
+            batch.activities, batch.target_domain
+        )
+        stats.federated_deliveries += delivered
+        stats.rejected_deliveries += rejected
+    reference_state = _federation_state(prepared, delivery.stats)
+    deliveries = delivery.stats.delivered
+    batches = len(work)
+
+    # One prepared twin shared by every fork-mode run: forked workers
+    # mutate copy-on-write copies, so the coordinator's registry stays
+    # pristine between runs.  The supervisor's inline fallback is the one
+    # exception — it delivers in the coordinator — so any run that used
+    # it poisons the twin and forces a re-prepare.
+    prepared = generator.prepare()
+    work = list(generator.federation_batches(prepared))
+
+    def reprepare() -> None:
+        nonlocal prepared, work
+        prepared = generator.prepare()
+        work = list(generator.federation_batches(prepared))
+
+    base_workers = worker_counts[0]
+
+    # Unsupervised forked baseline (the PR 7 engine), then the zero-fault
+    # supervised run: bit-identical, zero retries, bounded overhead.
+    unsupervised_s = float("inf")
+    for _ in range(repeats):
+        _level_heap()
+        start = time.perf_counter()
+        result = federate_sharded(prepared, work, base_workers, processes=True)
+        unsupervised_s = min(unsupervised_s, time.perf_counter() - start)
+    _require_equal(
+        result.state,
+        reference_state,
+        "unsupervised forked engine diverged from the single-process engine",
+    )
+
+    supervised_s = float("inf")
+    for _ in range(repeats):
+        _level_heap()
+        start = time.perf_counter()
+        result = federate_sharded(
+            prepared,
+            work,
+            base_workers,
+            processes=True,
+            supervised=True,
+            supervisor=supervisor,
+        )
+        supervised_s = min(supervised_s, time.perf_counter() - start)
+    _require_equal(
+        result.state,
+        reference_state,
+        "zero-fault supervised engine diverged from the single-process engine",
+    )
+    _require_equal(
+        result.recovery.retries,
+        0,
+        "zero-fault supervised run reported retries",
+    )
+    overhead = supervised_s / unsupervised_s if unsupervised_s else float("inf")
+    if overhead > max_zero_fault_overhead:
+        raise RuntimeError(
+            f"zero-fault supervision overhead {overhead:.2f}x exceeds the "
+            f"{max_zero_fault_overhead:.2f}x ceiling"
+        )
+
+    # Recovery gate: every death kind x every worker count, shard 0's
+    # first attempt killed, merged state still bit-identical.
+    failed_shards = 0
+    recovered_shards = 0
+    retry_seconds = 0.0
+    inline_fallbacks = 0
+    recovered_by_kind: dict[str, int] = {}
+    for kind in WorkerFaultKind:
+        for n_workers in worker_counts:
+            plan = WorkerFaultPlan.scripted(n_workers, {0: kind})
+            result = federate_sharded(
+                prepared,
+                work,
+                n_workers,
+                processes=True,
+                worker_faults=plan,
+                supervisor=supervisor,
+            )
+            recovery = result.recovery
+            _require_equal(
+                result.state,
+                reference_state,
+                f"supervised engine ({kind.value}, {n_workers} workers) "
+                "merged state diverged from the single-process engine",
+            )
+            _require_equal(
+                recovery.shard_attempts(0)[0].outcome,
+                _EXPECTED_CLASSIFICATION[kind.value],
+                f"supervisor misclassified an injected {kind.value} fault",
+            )
+            failed_shards += len(recovery.failed_shards)
+            recovered_shards += len(recovery.recovered_shards)
+            retry_seconds += recovery.retry_seconds
+            inline_fallbacks += recovery.inline_fallbacks
+            recovered_by_kind[kind.value] = recovered_by_kind.get(
+                kind.value, 0
+            ) + len(recovery.recovered_shards)
+            if recovery.inline_fallbacks:
+                reprepare()
+
+    # Profile run: the scenario's worker-fault knob, compiled.
+    spec = WorkerFaultSpec.for_config(config)
+    if spec.inert:
+        spec = WorkerFaultSpec.profile("mixed", seed=fault_seed)
+    profile_workers = max(worker_counts)
+    profile_plan = WorkerFaultPlan.compile(spec, profile_workers)
+    result = federate_sharded(
+        prepared,
+        work,
+        profile_workers,
+        processes=True,
+        worker_faults=profile_plan,
+        supervisor=supervisor,
+    )
+    _require_equal(
+        result.state,
+        reference_state,
+        f"supervised engine under the {config.worker_fault_profile!r} "
+        "worker-fault profile diverged from the single-process engine",
+    )
+    recovery = result.recovery
+    profile_failed = len(recovery.failed_shards)
+    profile_recovered = len(recovery.recovered_shards)
+    failed_shards += profile_failed
+    recovered_shards += profile_recovered
+    retry_seconds += recovery.retry_seconds
+    inline_fallbacks += recovery.inline_fallbacks
+    if recovery.inline_fallbacks:
+        reprepare()
+
+    # Retry exhaustion: every forked attempt of shard 0 dies; only the
+    # inline fallback can recover it.  Runs last — the fallback delivers
+    # in the coordinator, so the shared twin is spent afterwards.
+    exhaust_plan = WorkerFaultPlan.scripted(
+        base_workers,
+        {0: (WorkerFaultKind.CRASH_EARLY,) * supervisor.max_worker_attempts},
+    )
+    result = federate_sharded(
+        prepared,
+        work,
+        base_workers,
+        processes=True,
+        worker_faults=exhaust_plan,
+        supervisor=supervisor,
+    )
+    _require_equal(
+        result.state,
+        reference_state,
+        "inline-fallback recovery diverged from the single-process engine",
+    )
+    recovery = result.recovery
+    _require_equal(
+        recovery.inline_fallbacks,
+        1,
+        "retry exhaustion did not reach the inline fallback",
+    )
+    failed_shards += len(recovery.failed_shards)
+    recovered_shards += len(recovery.recovered_shards)
+    retry_seconds += recovery.retry_seconds
+    inline_fallbacks += recovery.inline_fallbacks
+
+    metrics = {
+        "deliveries": float(deliveries),
+        "batches": float(batches),
+        "fork_available": 1.0,
+        "deadline_seconds": deadline_seconds,
+        "unsupervised_seconds": unsupervised_s,
+        "supervised_seconds": supervised_s,
+        "zero_fault_overhead": overhead,
+        "failed_shards": float(failed_shards),
+        "recovered_shards": float(recovered_shards),
+        "recovery_rate": (
+            recovered_shards / failed_shards if failed_shards else 1.0
+        ),
+        "recovery_retry_seconds": retry_seconds,
+        "inline_fallbacks": float(inline_fallbacks),
+        "profile_failed_shards": float(profile_failed),
+    }
+    for kind, count in sorted(recovered_by_kind.items()):
+        metrics[f"recovered_{kind}"] = float(count)
+    return metrics
+
+
 def _crawl_state(result: CrawlResult) -> dict[str, Any]:
     """Snapshot everything a crawl produces, for equivalence checks.
 
@@ -861,6 +1126,7 @@ STAGES: tuple[str, ...] = (
     "crawl",
     "chaos",
     "sharding",
+    "shard_chaos",
 )
 
 #: Stages that need the analysis pipeline's assembled dataset.
@@ -979,6 +1245,19 @@ def run_scenario(
                 "users": int(sharding["users"]),
                 "posts": int(sharding["posts"]),
             }
+    if "shard_chaos" in stages:
+        if not report.workers:
+            report.workers = list(workers)
+        # Worker counts of 1 tell the supervised/unsupervised overhead
+        # comparison nothing new and double the fault matrix; the chaos
+        # stage measures multi-worker counts only (minimum 2).
+        chaos_workers = tuple(n for n in workers if n > 1) or (2,)
+        report.metrics["shard_chaos"] = bench_shard_chaos(
+            scenario,
+            seed=seed,
+            repeats=min(repeats, 2),
+            worker_counts=chaos_workers,
+        )
     return report
 
 

@@ -4,8 +4,10 @@ Partitions the registry by domain hash into N shards, runs one worker per
 shard over its slice of the federation batch stream, and merges the
 workers' captured state deterministically — bit-identical to the
 single-process engine for a fixed seed at every worker count.  See
-:mod:`repro.shard.engine` for the architecture and
-:mod:`repro.shard.state` for the ownership argument behind the merge.
+:mod:`repro.shard.engine` for the architecture,
+:mod:`repro.shard.state` for the ownership argument behind the merge and
+:mod:`repro.shard.supervisor` for the fault-tolerant supervised mode
+(deadlines, failure classification, deterministic shard re-execution).
 """
 
 from repro.shard.engine import (
@@ -21,11 +23,22 @@ from repro.shard.state import (
     delivered_pairs,
     federation_state,
     merge_shard_results,
+    valid_shard_result,
+)
+from repro.shard.supervisor import (
+    RecoveryStats,
+    ShardAttempt,
+    ShardSupervisor,
+    SupervisorConfig,
 )
 
 __all__ = [
+    "RecoveryStats",
+    "ShardAttempt",
     "ShardResult",
+    "ShardSupervisor",
     "ShardedRunResult",
+    "SupervisorConfig",
     "capture_shard",
     "delivered_pairs",
     "federate_sharded",
@@ -36,4 +49,5 @@ __all__ = [
     "partition_domains",
     "run_sharded",
     "shard_of",
+    "valid_shard_result",
 ]

@@ -26,6 +26,16 @@ Two execution modes share the same partition/deliver/capture/merge path:
   overhead); it exercises the identical partition, capture and merge
   machinery, which is what the determinism gate leans on.
 
+On top of the plain fork mode sits the *supervised* mode
+(:mod:`repro.shard.supervisor`): the same forked workers run under
+per-shard inactivity deadlines with heartbeats, failures are classified
+(clean error report / EOF crash / hang past deadline / corrupt result
+pickle) and failed shards are re-executed — first in fresh forks with
+escalating deadlines, finally inline — so the merged state stays
+bit-identical to a fault-free run no matter which workers died.  Pass
+``supervised=True`` (or a worker-fault plan / supervisor config) to
+:func:`federate_sharded` to enable it.
+
 Deliveries to different targets are independent (all mutated state lives
 on the receiving instance; the shared decision caches are value-
 transparent), so any interleaving of shard execution produces the same
@@ -39,11 +49,13 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import os
+import time
 import traceback
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.activitypub.delivery import FederationDelivery
+from repro.faults.workers import WorkerFaultKind, WorkerFaultPlan
 from repro.shard.partition import partition_batches
 from repro.shard.state import (
     ShardResult,
@@ -56,6 +68,16 @@ from repro.synth.generator import (
     FediverseGenerator,
     PreparedFediverse,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.shard.supervisor import RecoveryStats, SupervisorConfig
+
+#: Exit code of a deterministically injected worker death (``os._exit``).
+FAULT_EXIT_CODE = 86
+
+#: The garbage bytes a corrupt-result fault writes instead of a pickled
+#: :class:`ShardResult` — guaranteed not to unpickle.
+CORRUPT_RESULT_PAYLOAD = b"corrupt shard result \xff\x00\xfe"
 
 
 @dataclass
@@ -75,6 +97,9 @@ class ShardedRunResult:
     #: Merged federation-state snapshot, shaped exactly like
     #: :func:`repro.shard.state.federation_state`.
     state: dict[str, Any]
+    #: Per-shard attempt/failure/retry accounting of a supervised run
+    #: (``None`` for the unsupervised engine).
+    recovery: "RecoveryStats | None" = None
 
 
 def fork_available() -> bool:
@@ -91,47 +116,143 @@ def usable_cpus() -> int:
 
 
 def _deliver_batches(
-    registry, batches: Sequence[FederationBatch]
+    registry,
+    batches: Sequence[FederationBatch],
+    progress: Callable[[int], None] | None = None,
 ) -> tuple[FederationDelivery, int, int]:
-    """Deliver one shard's batch slice through a private delivery engine."""
+    """Deliver one shard's batch slice through a private delivery engine.
+
+    ``progress`` (when given) is called after every batch with the number
+    of batches completed — the supervised workers' heartbeat hook.
+    """
     delivery = FederationDelivery(registry, sinks=[])
     delivered = rejected = 0
-    for batch in batches:
+    for index, batch in enumerate(batches):
         batch_delivered, batch_rejected = delivery.deliver_batch_counted(
             batch.activities, batch.target_domain
         )
         delivered += batch_delivered
         rejected += batch_rejected
+        if progress is not None:
+            progress(index + 1)
     return delivery, delivered, rejected
 
 
-def _shard_worker(shard: int, n_shards: int, registry, in_conn, out_conn) -> None:
+def _execute_shard(
+    registry, shard: int, n_shards: int, batches: Sequence[FederationBatch],
+    progress: Callable[[int], None] | None = None,
+) -> ShardResult:
+    """Deliver one shard's slice and capture its owned instances' state.
+
+    The single shard-execution body shared by the inline engine, the
+    forked workers and the supervisor's inline fallback — each shard's
+    slice is a pure deterministic function of the partition, so every
+    caller produces the identical capture.
+    """
+    delivery, delivered, rejected = _deliver_batches(
+        registry, batches, progress=progress
+    )
+    return capture_shard(
+        shard,
+        registry.shard_instances(shard, n_shards),
+        delivery.stats,
+        delivered,
+        rejected,
+        delivery.batch_rejects,
+        delivery.batch_rewrites,
+    )
+
+
+def _shard_worker(
+    shard: int,
+    n_shards: int,
+    registry,
+    in_conn,
+    out_conn,
+    fault: str | None = None,
+    heartbeat_seconds: float | None = None,
+) -> None:
     """Worker-process body: receive a batch slice, deliver, send the capture.
 
     The registry is inherited copy-on-write through ``fork``; the garbage
     collector is disabled so cycle collection never touches (and thereby
     copies) the parent's heap pages — the worker is short-lived and its
     whole heap dies with the process.
+
+    ``fault`` (a :class:`~repro.faults.workers.WorkerFaultKind` value)
+    scripts this attempt's death for the supervisor's fault-injection
+    plans; ``heartbeat_seconds`` enables periodic ``("hb", batches_done)``
+    messages so the supervisor's deadline measures *inactivity*, not total
+    runtime.  The unsupervised engine passes neither, keeping its original
+    single-message protocol.
     """
     try:
         gc.disable()
+        if fault == WorkerFaultKind.CRASH_EARLY.value:
+            os._exit(FAULT_EXIT_CODE)
+        if heartbeat_seconds is not None:
+            # First sign of life before the (potentially large) slice
+            # recv, so the supervisor's inactivity clock starts here.
+            out_conn.send(("hb", 0))
         batches = in_conn.recv()
         in_conn.close()
-        delivery, delivered, rejected = _deliver_batches(registry, batches)
-        result = capture_shard(
-            shard,
-            registry.shard_instances(shard, n_shards),
-            delivery.stats,
-            delivered,
-            rejected,
-            delivery.batch_rejects,
-            delivery.batch_rewrites,
+        if fault == WorkerFaultKind.HANG.value:
+            while True:  # pragma: no cover - killed by the supervisor
+                time.sleep(3600.0)
+        if fault == WorkerFaultKind.CORRUPT.value:
+            out_conn.send_bytes(CORRUPT_RESULT_PAYLOAD)
+            os._exit(FAULT_EXIT_CODE)
+        if fault == WorkerFaultKind.ERROR.value:
+            raise RuntimeError(f"injected worker fault: shard {shard} error")
+
+        progress = None
+        if heartbeat_seconds is not None:
+            last_beat = time.monotonic()
+
+            def progress(done: int) -> None:
+                nonlocal last_beat
+                now = time.monotonic()
+                if now - last_beat >= heartbeat_seconds:
+                    out_conn.send(("hb", done))
+                    last_beat = now
+
+        result = _execute_shard(
+            registry, shard, n_shards, batches, progress=progress
         )
+        if fault == WorkerFaultKind.CRASH_LATE.value:
+            os._exit(FAULT_EXIT_CODE)
         out_conn.send(("ok", result))
     except BaseException:  # noqa: BLE001 - report any worker death to the coordinator
-        out_conn.send(("error", traceback.format_exc()))
+        try:
+            out_conn.send(("error", traceback.format_exc()))
+        except OSError:  # pragma: no cover - coordinator already gone
+            pass
     finally:
-        out_conn.close()
+        try:
+            out_conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+def reap_process(
+    process, grace_seconds: float = 30.0, escalation_seconds: float = 5.0
+) -> None:
+    """Tear a worker process down for certain, escalating as needed.
+
+    ``join(grace)`` for the cooperative case, then ``terminate()``
+    (SIGTERM) with a bounded join of ``escalation_seconds``, then
+    ``kill()`` (SIGKILL) with a final bounded join — a worker that
+    ignores SIGTERM can never leak past the run.  SIGKILL cannot be
+    ignored, so the last join is certain to collect the process.
+    """
+    if grace_seconds > 0:
+        process.join(timeout=grace_seconds)
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=escalation_seconds)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=escalation_seconds)
 
 
 def _run_forked(
@@ -167,10 +288,19 @@ def _run_forked(
     try:
         # Ship every shard its serialised batch slice first; each worker
         # starts by draining its input pipe, so the sends cannot deadlock
-        # against the (later, in-order) result reads.
+        # against the (later, in-order) result reads.  Every ship and
+        # drain failure names its shard: a worker dead before its recv
+        # surfaces as a broken send pipe here, not a raw BrokenPipeError.
         for shard, (_, in_send, _) in enumerate(workers):
-            in_send.send(shards[shard])
-            in_send.close()
+            try:
+                in_send.send(shards[shard])
+            except OSError as exc:
+                raise RuntimeError(
+                    f"shard worker {shard} died before receiving its "
+                    f"batch slice ({exc!r})"
+                ) from exc
+            finally:
+                in_send.close()
         for shard, (_, _, out_recv) in enumerate(workers):
             try:
                 status, payload = out_recv.recv()
@@ -178,16 +308,17 @@ def _run_forked(
                 raise RuntimeError(
                     f"shard worker {shard} exited without sending a result"
                 ) from None
+            except Exception as exc:
+                raise RuntimeError(
+                    f"shard worker {shard} sent an unreadable result ({exc!r})"
+                ) from exc
             if status != "ok":
                 raise RuntimeError(f"shard worker {shard} failed:\n{payload}")
             results.append(payload)
     finally:
         for process, _, out_recv in workers:
             out_recv.close()
-            process.join(timeout=30.0)
-            if process.is_alive():  # pragma: no cover - defensive cleanup
-                process.terminate()
-                process.join()
+            reap_process(process, grace_seconds=30.0)
     return results
 
 
@@ -196,21 +327,10 @@ def _run_inline(
 ) -> list[ShardResult]:
     """Run every shard sequentially in the coordinator process."""
     n_shards = len(shards)
-    results = []
-    for shard, batches in enumerate(shards):
-        delivery, delivered, rejected = _deliver_batches(registry, batches)
-        results.append(
-            capture_shard(
-                shard,
-                registry.shard_instances(shard, n_shards),
-                delivery.stats,
-                delivered,
-                rejected,
-                delivery.batch_rejects,
-                delivery.batch_rewrites,
-            )
-        )
-    return results
+    return [
+        _execute_shard(registry, shard, n_shards, batches)
+        for shard, batches in enumerate(shards)
+    ]
 
 
 def federate_sharded(
@@ -219,6 +339,9 @@ def federate_sharded(
     n_workers: int,
     *,
     processes: bool | None = None,
+    supervised: bool | None = None,
+    worker_faults: WorkerFaultPlan | None = None,
+    supervisor: "SupervisorConfig | None" = None,
 ) -> ShardedRunResult:
     """Deliver a materialised batch stream through ``n_workers`` shards.
 
@@ -226,10 +349,24 @@ def federate_sharded(
     the platform supports ``fork`` and more than one CPU is usable (a
     worker pool on a single-CPU host serialises anyway, so auto mode runs
     the same partitioned work inline rather than paying fork and pipe
-    overhead for nothing); ``True``/``False`` force the respective mode.  Returns the merged
-    federation-state snapshot — in fork mode the coordinator's registry is
-    left untouched (workers mutate copy-on-write copies), so the snapshot,
-    not the live registry, is the run's delivered state.
+    overhead for nothing); ``True``/``False`` force the respective mode.
+
+    ``supervised`` selects the fault-tolerant engine: forked workers run
+    under the :class:`~repro.shard.supervisor.ShardSupervisor` (inactivity
+    deadlines, failure classification, deterministic shard re-execution)
+    and the result carries its
+    :class:`~repro.shard.supervisor.RecoveryStats`.  It defaults to on
+    whenever a ``worker_faults`` plan or a ``supervisor`` config is given.
+    A non-inert fault plan needs real processes to kill, so it is rejected
+    when the run resolves to inline mode.
+
+    Returns the merged federation-state snapshot — in fork mode the
+    coordinator's registry is left untouched (workers mutate
+    copy-on-write copies), so the snapshot, not the live registry, is the
+    run's delivered state.  (The supervisor's last-resort inline fallback
+    delivers a failed shard in the coordinator; that shard's capture and
+    the merge are unaffected, because the fallback executes the identical
+    pure slice.)
     """
     n_workers = int(n_workers)
     if n_workers < 1:
@@ -238,6 +375,8 @@ def federate_sharded(
     shards = partition_batches(work, n_workers)
     pairs = delivered_pairs(work)
 
+    if supervised is None:
+        supervised = worker_faults is not None or supervisor is not None
     if processes is None:
         processes = n_workers > 1 and fork_available() and usable_cpus() > 1
     if processes and not fork_available():
@@ -245,22 +384,46 @@ def federate_sharded(
             "process-based sharding requires the fork start method; "
             "pass processes=False for the inline engine"
         )
+    if (
+        not processes
+        and worker_faults is not None
+        and not worker_faults.inert
+    ):
+        raise RuntimeError(
+            "worker-fault injection needs forked workers to kill; "
+            "pass processes=True (or drop the fault plan) for inline runs"
+        )
 
-    if processes:
-        results = _run_forked(prepared.registry, shards)
-        mode = "fork"
-    else:
-        try:
+    recovery: "RecoveryStats | None" = None
+    try:
+        if processes:
+            if supervised:
+                from repro.shard.supervisor import ShardSupervisor
+
+                results, recovery = ShardSupervisor(
+                    config=supervisor, faults=worker_faults
+                ).run(prepared.registry, shards)
+            else:
+                results = _run_forked(prepared.registry, shards)
+            mode = "fork"
+        else:
             results = _run_inline(prepared.registry, shards)
-        finally:
-            # Mirror FediverseGenerator.federate: the shared decision
-            # caches only pay off within one run, and dropping them keeps
-            # delivered posts from outliving the run.  (Forked workers'
-            # caches die with their processes.)
-            from repro.mrf.shared import clear_shared_state
+            if supervised:
+                from repro.shard.supervisor import RecoveryStats
 
-            clear_shared_state()
-        mode = "inline"
+                recovery = RecoveryStats(n_shards=len(shards))
+                for shard in range(len(shards)):
+                    recovery.record(shard, 0, "inline", "ok", 0.0)
+            mode = "inline"
+    finally:
+        # The shared decision caches only pay off within one run, and
+        # dropping them keeps delivered posts from outliving it.  Fork
+        # mode needs this too: the workers' caches die with their
+        # processes, but prepare()/materialisation (and the supervisor's
+        # inline fallback) populate the *coordinator's* caches.
+        from repro.mrf.shared import clear_shared_state
+
+        clear_shared_state()
 
     state = merge_shard_results(prepared, results, pairs)
     return ShardedRunResult(
@@ -273,6 +436,7 @@ def federate_sharded(
         batch_rewrites=sum(result.batch_rewrites for result in results),
         shard_batches=tuple(len(batches) for batches in shards),
         state=state,
+        recovery=recovery,
     )
 
 
@@ -281,16 +445,26 @@ def run_sharded(
     n_workers: int,
     *,
     processes: bool | None = None,
+    supervised: bool | None = None,
+    worker_faults: WorkerFaultPlan | None = None,
+    supervisor: "SupervisorConfig | None" = None,
 ) -> tuple[PreparedFediverse, ShardedRunResult]:
     """Prepare a fediverse from ``config`` and federate it sharded.
 
     The end-to-end entry point (used by the ``xxlarge`` scenario): prepare
     is run once in the coordinator, the batch stream is materialised once,
-    and the sharded engine does the delivery work.
+    and the sharded engine does the delivery work.  Supervision arguments
+    pass straight through to :func:`federate_sharded`.
     """
     generator = FediverseGenerator(config)
     prepared = generator.prepare()
     work = list(generator.federation_batches(prepared))
     return prepared, federate_sharded(
-        prepared, work, n_workers, processes=processes
+        prepared,
+        work,
+        n_workers,
+        processes=processes,
+        supervised=supervised,
+        worker_faults=worker_faults,
+        supervisor=supervisor,
     )

@@ -107,6 +107,16 @@ class ShardResult:
     remote_posts: dict[str, tuple] = field(default_factory=dict)
 
 
+def valid_shard_result(payload: object, shard: int) -> bool:
+    """Return ``True`` when ``payload`` is ``shard``'s well-formed capture.
+
+    The supervisor's corrupt-result classification: a worker answering
+    with anything but a :class:`ShardResult` carrying its own shard index
+    is treated exactly like an unpicklable result — killed and retried.
+    """
+    return isinstance(payload, ShardResult) and payload.shard == shard
+
+
 def capture_shard(
     shard: int,
     instances: Iterable["Instance"],

@@ -22,8 +22,15 @@ SCENARIOS: dict[str, dict] = {
     # Stress scale for the performance harness (see repro.perf): big enough
     # that quadratic or per-record-scan hot paths dominate the wall clock.
     "large": {"n_pleroma_instances": 800, "campaign_days": 30.0},
-    # Beyond-paper scale: twice the large population, for engine stress runs.
-    "xlarge": {"n_pleroma_instances": 1600, "campaign_days": 30.0},
+    # Beyond-paper scale: twice the large population, for engine stress
+    # runs.  Sharded runs at this scale are long enough for workers to die
+    # mid-run, so the scenario names the worker-fault weather its
+    # supervised engine is measured under (shard_chaos bench stage).
+    "xlarge": {
+        "n_pleroma_instances": 1600,
+        "campaign_days": 30.0,
+        "worker_fault_profile": "mixed",
+    },
     # Skewed federation load: a tenth of the origins go "hot" and fan out an
     # order of magnitude wider, concentrating delivery traffic on the big
     # receivers — the worst case for the delivery engine's batching.
@@ -64,6 +71,9 @@ SCENARIOS: dict[str, dict] = {
         "mainstream_mean_users": 62.0,
         "mean_posts_per_user": 1.5,
         "federation_posts_per_peer": 5,
+        # Million-user runs must survive worker deaths: the supervised
+        # sharded engine is measured under the mixed worker-fault mix.
+        "worker_fault_profile": "mixed",
     },
     # Instance population matching the paper's 1,534 Pleroma instances.
     "paper": {

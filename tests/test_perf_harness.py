@@ -33,10 +33,12 @@ def test_report_contains_every_benchmark(tiny_report) -> None:
         "crawl",
         "chaos",
         "sharding",
+        "shard_chaos",
     }
     for section, metrics in report.metrics.items():
-        if section == "chaos":
-            # The chaos stage gates reproduction, not speed: no baseline race.
+        if section in ("chaos", "shard_chaos"):
+            # The chaos stages gate reproduction/recovery, not speed: no
+            # baseline race, hence no speedup key.
             continue
         assert metrics["speedup"] > 0.0
         assert metrics["naive_seconds"] >= 0.0
@@ -71,6 +73,16 @@ def test_report_contains_every_benchmark(tiny_report) -> None:
         assert report.metrics["sharding"][f"scaling_efficiency_workers_{n}"] > 0.0
     assert report.workers == [1, 2, 4]
     assert report.dataset["posts"] > 0
+    # The shard_chaos stage passed its recovery gates (it raises otherwise):
+    # every injected worker-death kind merged bit-identically and recovered.
+    shard_chaos = report.metrics["shard_chaos"]
+    if shard_chaos["fork_available"]:
+        assert shard_chaos["recovery_rate"] == 1.0
+        assert shard_chaos["failed_shards"] > 0.0
+        assert shard_chaos["inline_fallbacks"] >= 1.0
+        assert shard_chaos["zero_fault_overhead"] > 0.0
+        for kind in ("crash_early", "crash_late", "hang", "corrupt", "error"):
+            assert shard_chaos[f"recovered_{kind}"] > 0.0
 
 
 def test_bench_json_is_machine_readable(tiny_report) -> None:

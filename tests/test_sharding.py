@@ -281,3 +281,37 @@ class TestShardedEquivalence:
         assert result.n_workers == 2
         assert result.state == reference
         assert prepared.registry is not None
+
+
+# --------------------------------------------------------------------------- #
+# Shared decision-cache hygiene
+# --------------------------------------------------------------------------- #
+class TestSharedStateHygiene:
+    """Every run mode must leave the process-wide decision caches empty.
+
+    The caches (rewrite ledgers, mention counts) only pay off within one
+    run, and entries keep delivered posts alive; the engine clears them on
+    the way out in the inline mode *and* in fork mode, where prepare() and
+    stream materialisation populate the coordinator's caches even though
+    the workers' copies die with their processes.
+    """
+
+    @staticmethod
+    def assert_caches_empty():
+        from repro.mrf import shared
+
+        assert not shared._MENTIONS
+        assert all(not ledger for ledger in shared._REWRITES.values())
+
+    def test_inline_run_leaves_caches_empty(self):
+        generator = FediverseGenerator(scenario_config("tiny", seed=61))
+        result = sharded_run(generator, 2, processes=False)
+        assert result.mode == "inline"
+        self.assert_caches_empty()
+
+    @pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+    def test_forked_run_leaves_caches_empty(self):
+        generator = FediverseGenerator(scenario_config("tiny", seed=61))
+        result = sharded_run(generator, 2, processes=True)
+        assert result.mode == "fork"
+        self.assert_caches_empty()
