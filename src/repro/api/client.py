@@ -25,6 +25,7 @@ the same counters the dataset statistics already use.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field, replace
 from types import MappingProxyType
 from typing import Any, Callable, Mapping, Sequence
@@ -66,7 +67,15 @@ class APIError(Exception):
 
 @dataclass
 class ClientStats:
-    """Counters kept by the client across all requests."""
+    """Counters kept by the client across all requests.
+
+    Every counter update is atomic under an internal lock, so one client
+    (and its stats) can be shared between concurrent crawler threads.  The
+    ``by_status``/``by_domain`` read-modify-writes in particular were
+    lost-update races without it: two threads reading the same
+    ``get(domain, 0)`` and both writing back ``+ 1`` silently drop a
+    request from the accounting the dataset statistics are built on.
+    """
 
     requests: int = 0
     ok: int = 0
@@ -80,18 +89,36 @@ class ClientStats:
     short_circuited: int = 0
     #: Simulated seconds spent waiting between attempts.
     backoff_seconds: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
-    def record(self, status: HTTPStatus, domain: str = "") -> None:
-        """Update the counters for one response status."""
-        self.requests += 1
+    def record(
+        self, status: HTTPStatus, domain: str = "", short_circuited: bool = False
+    ) -> None:
+        """Update the counters for one response status, atomically."""
         code = int(status)
-        self.by_status[code] = self.by_status.get(code, 0) + 1
-        if 200 <= code < 300:
-            self.ok += 1
-        else:
-            self.failed += 1
-        if domain:
-            self.by_domain[domain] = self.by_domain.get(domain, 0) + 1
+        with self._lock:
+            self.requests += 1
+            self.by_status[code] = self.by_status.get(code, 0) + 1
+            if 200 <= code < 300:
+                self.ok += 1
+            else:
+                self.failed += 1
+            if domain:
+                self.by_domain[domain] = self.by_domain.get(domain, 0) + 1
+            if short_circuited:
+                self.short_circuited += 1
+
+    def add_retries(self, count: int) -> None:
+        """Count ``count`` retry attempts, atomically."""
+        with self._lock:
+            self.retries += count
+
+    def add_backoff(self, seconds: float) -> None:
+        """Charge ``seconds`` of simulated backoff wait, atomically."""
+        with self._lock:
+            self.backoff_seconds += seconds
 
 
 @dataclass
@@ -129,7 +156,7 @@ class APIClient:
 
     def _spend(self, domain: str, count: int) -> None:
         self._budgets[domain] = self._budget(domain) - count
-        self.stats.retries += count
+        self.stats.add_retries(count)
 
     def _jitter_rng(self, domain: str) -> random.Random:
         rng = self._jitter.get(domain)
@@ -159,7 +186,7 @@ class APIClient:
             )
         if delay > 0:
             self.server.registry.clock.advance(delay)
-        self.stats.backoff_seconds += delay
+        self.stats.add_backoff(delay)
 
     def _normalise(self, response: HTTPResponse) -> HTTPResponse:
         """Convert a malformed 200 into the failure the client treats it as.
@@ -213,8 +240,7 @@ class APIClient:
         )
 
     def _record_short_circuit(self, response: HTTPResponse, domain: str) -> None:
-        self.stats.record(response.status, domain)
-        self.stats.short_circuited += 1
+        self.stats.record(response.status, domain, short_circuited=True)
 
     def _note_outcome(self, domain: str, transient_failure: bool) -> None:
         """Feed one logical request's final outcome to the breaker.

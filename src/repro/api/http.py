@@ -65,6 +65,50 @@ _REASONS = {
 EMPTY_HEADERS: Mapping[str, str] = MappingProxyType({})
 
 
+class FrozenList(list):
+    """An immutable list, equal to (and interchangeable with) the list it froze.
+
+    Cached JSON payloads are handed to every consumer of the server's batch
+    path, so their nested lists must reject mutation — but they must also
+    stay ``==`` to the fresh lists the stateless per-request path builds
+    (tuples would not).  Subclassing ``list`` keeps equality, iteration and
+    ``isinstance`` checks intact; only the mutators are disabled.
+    """
+
+    def _immutable(self, *args, **kwargs):
+        raise TypeError("cannot modify a frozen response payload")
+
+    __setitem__ = _immutable
+    __delitem__ = _immutable
+    __iadd__ = _immutable
+    __imul__ = _immutable
+    append = _immutable
+    extend = _immutable
+    insert = _immutable
+    remove = _immutable
+    pop = _immutable
+    clear = _immutable
+    sort = _immutable
+    reverse = _immutable
+
+
+def freeze_json(value: Any) -> Any:
+    """Recursively freeze a JSON-style payload for safe cross-client sharing.
+
+    Mappings become :class:`~types.MappingProxyType` views (like the frozen
+    error bodies), lists become :class:`FrozenList`\\ s; scalars pass through.
+    Frozen payloads compare equal to their mutable originals, so cached and
+    freshly-built responses remain interchangeable.
+    """
+    if isinstance(value, Mapping):
+        return MappingProxyType(
+            {key: freeze_json(item) for key, item in value.items()}
+        )
+    if isinstance(value, list):
+        return FrozenList(freeze_json(item) for item in value)
+    return value
+
+
 @dataclass(frozen=True)
 class HTTPRequest:
     """A GET request addressed to one instance."""

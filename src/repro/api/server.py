@@ -15,14 +15,24 @@ endpoint from a fingerprint-validated payload cache), and
 :meth:`FediverseAPIServer.stream_timeline` serves an entire paged timeline
 collection in one call while keeping request accounting identical to a
 client paging through it.
+
+Concurrency: the server is safe to share between crawler threads.  Request
+counters and the shared response caches are guarded by a state lock, every
+instance's mutable state (timelines, metadata, availability evaluation) is
+read under a per-instance re-entrant lock, and cached payloads are frozen
+(:func:`~repro.api.http.freeze_json`) so no client can corrupt what another
+sees.  :class:`RequestExecutor` is the thread-pool front end the concurrent
+crawl engine and the load harness drive requests through.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
-from repro.api.http import HTTPRequest, HTTPResponse, HTTPStatus
+from repro.api.http import HTTPRequest, HTTPResponse, HTTPStatus, freeze_json
 from repro.api.router import Router
 from repro.fediverse.errors import UnknownInstanceError
 from repro.fediverse.instance import Instance
@@ -130,32 +140,62 @@ class FediverseAPIServer:
         self.registry = registry
         self.router = Router()
         self.requests_served = 0
+        #: Guards the request counter, the shared error cache and the
+        #: per-instance lock table.  Held only for constant-time updates.
+        self._state_lock = threading.Lock()
+        #: One re-entrant lock per instance domain: every read of an
+        #: instance's mutable state (metadata fingerprinting and payload
+        #: rebuilds, timeline walks, endpoint dispatch) happens under its
+        #: domain's lock.  Re-entrant because the batch path holds it while
+        #: serving the cached metadata payload, which re-acquires.
+        self._instance_locks: dict[str, threading.RLock] = {}
         #: Metadata responses served by the batch path, keyed by domain and
         #: validated against :meth:`Instance.metadata_fingerprint` (the
-        #: single-request path stays stateless and seed-faithful).
+        #: single-request path stays stateless and seed-faithful).  Cached
+        #: payloads are frozen — shared across every concurrent client —
+        #: and each domain's entry is only written under that domain's lock.
         self._metadata_cache: dict[str, tuple[tuple, HTTPResponse]] = {}
-        #: Availability-error responses, keyed by (status, reason) — they
-        #: are frozen and content-equal, so the batch path shares them.
+        #: Availability-error responses, keyed by (status, reason) — the
+        #: full availability fingerprint at the serving instant, since both
+        #: fields are re-derived from :meth:`InstanceAvailability.status_at`
+        #: on every call.  An instance flipping down mid-campaign (churn)
+        #: therefore keys a *different* entry; nothing here can go stale.
+        #: The responses are frozen and content-equal, so they are shared;
+        #: writes happen under the state lock.
         self._error_cache: dict[tuple[int, str], HTTPResponse] = {}
         self._register_routes()
+
+    def instance_lock(self, domain: str) -> threading.RLock:
+        """Return (creating on first use) the lock guarding one instance."""
+        lock = self._instance_locks.get(domain)
+        if lock is None:
+            with self._state_lock:
+                lock = self._instance_locks.setdefault(domain, threading.RLock())
+        return lock
+
+    def _count_requests(self, count: int) -> None:
+        with self._state_lock:
+            self.requests_served += count
 
     # ------------------------------------------------------------------ #
     # Transport entry point
     # ------------------------------------------------------------------ #
     def handle(self, request: HTTPRequest) -> HTTPResponse:
         """Handle one request addressed to one instance."""
-        self.requests_served += 1
+        self._count_requests(1)
         try:
             instance = self.registry.get(request.domain)
         except UnknownInstanceError:
             return HTTPResponse.error(HTTPStatus.NOT_FOUND, "unknown instance")
 
-        now = self.registry.clock.now()
-        if not instance.availability.ok_at(now):
-            status = HTTPStatus(instance.availability.status_at(now))
-            return HTTPResponse.error(status, instance.availability.reason_at(now))
-
-        return self.router.dispatch(request)
+        with self.instance_lock(instance.domain):
+            now = self.registry.clock.now()
+            if not instance.availability.ok_at(now):
+                status = HTTPStatus(instance.availability.status_at(now))
+                return HTTPResponse.error(
+                    status, instance.availability.reason_at(now)
+                )
+            return self.router.dispatch(request)
 
     def get(self, domain: str, url: str) -> HTTPResponse:
         """Convenience wrapper: handle a GET described by a path-with-query."""
@@ -179,33 +219,35 @@ class FediverseAPIServer:
         accounting are identical to per-request :meth:`handle` calls.
         """
         count = len(requests)
-        self.requests_served += count
+        self._count_requests(count)
         try:
             instance = self.registry.get(domain)
         except UnknownInstanceError:
-            error = HTTPResponse.error(HTTPStatus.NOT_FOUND, "unknown instance")
+            error = self._availability_error(404, "unknown instance")
             return [error] * count
-        availability = instance.availability
-        now = self.registry.clock.now()
-        if not availability.ok_at(now):
-            status = HTTPStatus(availability.status_at(now))
-            error = HTTPResponse.error(status, availability.reason_at(now))
-            return [error] * count
+        with self.instance_lock(instance.domain):
+            availability = instance.availability
+            now = self.registry.clock.now()
+            if not availability.ok_at(now):
+                error = self._availability_error(
+                    availability.status_at(now), availability.reason_at(now)
+                )
+                return [error] * count
 
-        responses = []
-        serves = self._resolved_serves
-        for request in requests:
-            path = request if isinstance(request, str) else request.path
-            serve = serves.get(path)
-            if serve is not None:
-                responses.append(serve(instance))
-                continue
-            if isinstance(request, str):
-                request = HTTPRequest.from_url(domain, request)
-            responses.append(self.router.dispatch(request))
-        return responses
+            responses = []
+            serves = self._resolved_serves
+            for request in requests:
+                path = request if isinstance(request, str) else request.path
+                serve = serves.get(path)
+                if serve is not None:
+                    responses.append(serve(instance))
+                    continue
+                if isinstance(request, str):
+                    request = HTTPRequest.from_url(domain, request)
+                responses.append(self.router.dispatch(request))
+            return responses
 
-    def metadata_payload(self, instance: Instance) -> dict[str, Any]:
+    def metadata_payload(self, instance: Instance) -> Any:
         """Return the instance-metadata payload, cached across batch calls.
 
         The cache is validated against
@@ -213,8 +255,9 @@ class FediverseAPIServer:
         any mutation reachable through the regular mutators (users, posts,
         peers, descriptive fields, version-bumping MRF configuration
         changes) rebuilds the payload.  While the fingerprint is unchanged
-        the *same* payload object is returned, which is what lets the
-        crawler validate its parsed-template cache with an ``is`` check.
+        the *same* (frozen, read-only) payload object is returned, which is
+        what lets the crawler validate its parsed-template cache with an
+        ``is`` check.
         """
         return self._serve_metadata(instance).body
 
@@ -227,7 +270,7 @@ class FediverseAPIServer:
         error responses.  Domains must already be normalised (crawl rounds
         draw them from directory listings and instance records).
         """
-        self.requests_served += len(domains)
+        self._count_requests(len(domains))
         registry = self.registry
         now = registry.clock.now()
         get = registry.get_normalised
@@ -239,23 +282,37 @@ class FediverseAPIServer:
             except UnknownInstanceError:
                 responses.append(self._availability_error(404, "unknown instance"))
                 continue
-            availability = instance.availability
-            if availability.ok_at(now):
-                responses.append(serve(instance))
-            else:
-                responses.append(
-                    self._availability_error(
-                        availability.status_at(now), availability.reason_at(now)
+            with self.instance_lock(instance.domain):
+                availability = instance.availability
+                if availability.ok_at(now):
+                    responses.append(serve(instance))
+                else:
+                    responses.append(
+                        self._availability_error(
+                            availability.status_at(now), availability.reason_at(now)
+                        )
                     )
-                )
         return responses
 
     def _availability_error(self, status: int, reason: str) -> HTTPResponse:
+        """Return the shared frozen error response for one availability state.
+
+        The ``(status, reason)`` key *is* the availability fingerprint at
+        the serving instant — both values come from
+        ``InstanceAvailability.status_at/reason_at(now)`` on every call —
+        so a churned instance flipping from 200 to 503 mid-campaign simply
+        selects a different entry; cached entries can never serve a stale
+        availability.  Double-checked under the state lock so concurrent
+        clients share one frozen response per distinct error.
+        """
         key = (status, reason)
         response = self._error_cache.get(key)
         if response is None:
-            response = HTTPResponse.error(HTTPStatus(status), reason)
-            self._error_cache[key] = response
+            with self._state_lock:
+                response = self._error_cache.get(key)
+                if response is None:
+                    response = HTTPResponse.error(HTTPStatus(status), reason)
+                    self._error_cache[key] = response
         return response
 
     def stream_timeline(
@@ -277,40 +334,46 @@ class FediverseAPIServer:
         ``ids.index(max_id)`` scan + slice — quadratic in timeline length —
         with a single walk.
         """
-        self.requests_served += 1  # at least one page request is always made
+        self._count_requests(1)  # at least one page request is always made
         try:
             instance = self.registry.get(domain)
         except UnknownInstanceError:
             return TimelineStream(HTTPStatus.NOT_FOUND, "unknown instance", [], 1)
-        availability = instance.availability
-        now = self.registry.clock.now()
-        if not availability.ok_at(now):
-            status = HTTPStatus(availability.status_at(now))
-            return TimelineStream(status, availability.reason_at(now), [], 1)
-        if not instance.expose_public_timeline:
-            return TimelineStream(
-                HTTPStatus.FORBIDDEN, "public timeline requires authentication", [], 1
-            )
+        with self.instance_lock(instance.domain):
+            availability = instance.availability
+            now = self.registry.clock.now()
+            if not availability.ok_at(now):
+                status = HTTPStatus(availability.status_at(now))
+                return TimelineStream(status, availability.reason_at(now), [], 1)
+            if not instance.expose_public_timeline:
+                return TimelineStream(
+                    HTTPStatus.FORBIDDEN,
+                    "public timeline requires authentication",
+                    [],
+                    1,
+                )
 
-        effective = max(1, min(page_size, MAX_TIMELINE_LIMIT))
-        timeline = (
-            instance.timelines.public if local else instance.timelines.whole_known_network
-        )
-        ids = timeline.latest(limit=0)  # the full timeline, newest first
-        collected, pages = count_timeline_pages(
-            len(ids), page_size, effective, max_posts
-        )
-        self.requests_served += pages - 1
-        local_posts = instance.posts
-        remote_posts = instance.remote_posts
-        statuses = [
-            serialise_status(
-                local_posts[post_id]
-                if post_id in local_posts
-                else remote_posts[post_id]
+            effective = max(1, min(page_size, MAX_TIMELINE_LIMIT))
+            timeline = (
+                instance.timelines.public
+                if local
+                else instance.timelines.whole_known_network
             )
-            for post_id in ids[:collected]
-        ]
+            ids = timeline.latest(limit=0)  # the full timeline, newest first
+            collected, pages = count_timeline_pages(
+                len(ids), page_size, effective, max_posts
+            )
+            self._count_requests(pages - 1)
+            local_posts = instance.posts
+            remote_posts = instance.remote_posts
+            statuses = [
+                serialise_status(
+                    local_posts[post_id]
+                    if post_id in local_posts
+                    else remote_posts[post_id]
+                )
+                for post_id in ids[:collected]
+            ]
         return TimelineStream(HTTPStatus.OK, "", statuses, pages)
 
     # ------------------------------------------------------------------ #
@@ -331,13 +394,20 @@ class FediverseAPIServer:
         }
 
     def _serve_metadata(self, instance: Instance) -> HTTPResponse:
-        fingerprint = instance.metadata_fingerprint()
-        cached = self._metadata_cache.get(instance.domain)
-        if cached is not None and cached[0] == fingerprint:
-            return cached[1]
-        response = HTTPResponse.json_ok(instance.to_api_dict())
-        self._metadata_cache[instance.domain] = (fingerprint, response)
-        return response
+        # Fingerprint and rebuild under the instance's lock (re-entrant, so
+        # callers already holding it — handle_batch — nest freely), with a
+        # double-check so concurrent first requests build the payload once.
+        # The cached payload is frozen: it is shared by every client of the
+        # batch path, and freezing keeps one caller's mutation from
+        # corrupting what the others (and later rounds) see.
+        with self.instance_lock(instance.domain):
+            fingerprint = instance.metadata_fingerprint()
+            cached = self._metadata_cache.get(instance.domain)
+            if cached is not None and cached[0] == fingerprint:
+                return cached[1]
+            response = HTTPResponse.json_ok(freeze_json(instance.to_api_dict()))
+            self._metadata_cache[instance.domain] = (fingerprint, response)
+            return response
 
     def _serve_peers(self, instance: Instance) -> HTTPResponse:
         return HTTPResponse.json_ok(sorted(instance.peers))
@@ -422,3 +492,48 @@ class FediverseAPIServer:
         for post_id in reversed(user.post_ids[-max(1, limit):]):
             statuses.append(instance.get_post(post_id).to_dict())
         return HTTPResponse.json_ok(statuses)
+
+
+class RequestExecutor:
+    """Run groups of request-serving tasks on a bounded thread pool.
+
+    The concurrent front end of the serving layer: callers hand it a list
+    of zero-argument tasks (each typically a per-worker slice of a crawl
+    phase) and receive the results **in task order**, whatever order the
+    threads finished in.  With one thread the executor runs tasks inline —
+    no pool, no handoff — so a 1-thread concurrent crawl pays nothing over
+    the sequential engine.  The pool is created lazily on the first
+    multi-task run and reused until :meth:`shutdown`.
+    """
+
+    def __init__(self, threads: int = 1) -> None:
+        if threads < 1:
+            raise ValueError("threads must be at least 1")
+        self.threads = threads
+        self._pool: ThreadPoolExecutor | None = None
+
+    def run(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        """Run every task, returning their results in task order."""
+        tasks = list(tasks)
+        if self.threads == 1 or len(tasks) <= 1:
+            return [task() for task in tasks]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.threads, thread_name_prefix="serving"
+            )
+        # Submit everything before gathering anything: the gather order is
+        # the task order, the execution order is the pool's.
+        futures = [self._pool.submit(task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        """Tear down the pool (idempotent; the executor stays reusable)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "RequestExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

@@ -32,6 +32,7 @@ def test_report_contains_every_benchmark(tiny_report) -> None:
         "delivery",
         "crawl",
         "chaos",
+        "serving",
         "sharding",
         "shard_chaos",
     }
@@ -53,6 +54,11 @@ def test_report_contains_every_benchmark(tiny_report) -> None:
     assert report.metrics["crawl"]["domains"] > 0.0
     assert report.metrics["crawl"]["rounds"] > 0.0
     assert report.metrics["crawl"]["api_requests"] > 0.0
+    serving = report.metrics["serving"]
+    assert serving["thread_counts"] >= 2.0
+    for key in ("p50_ms_threads_1", "p99_ms_threads_2", "tail_amplification_threads_2"):
+        assert serving[key] >= 0.0
+    assert serving["requests_per_second"] > 0.0
     assert report.metrics["crawl"]["posts_collected"] > 0.0
     # The crawl stage ran (and therefore passed) the churn equivalence gate,
     # and the reduced churn population actually lost domains mid-campaign.
