@@ -6,8 +6,12 @@ and replays a set of crafted activities through it, printing what each
 policy does to each activity.  Every policy declares a
 :class:`~repro.mrf.base.DecisionPlan` — the declarative description of its
 gates, triggers and shareable decisions the compiled pipeline fast-paths —
-so the lab also prints each plan and finishes by *authoring* a policy with
-a custom plan, the way a new policy should be written.
+so the lab also prints each plan and finishes by *authoring* two policies
+with custom plans, the way new policies should be written: a content-
+triggered one and an announce-aware one gated on ``activity_types``.  The
+replayed activities cover the full mix — Creates, a boost (``Announce``)
+and a favourite (``Like``) — and the lab ends by comparing the compiled
+per-``(origin, type)`` batch programs Create and Announce traffic select.
 
 Run with::
 
@@ -16,7 +20,12 @@ Run with::
 
 from __future__ import annotations
 
-from repro.activitypub.activities import create_activity
+from repro.activitypub.activities import (
+    ActivityType,
+    announce_activity,
+    create_activity,
+    like_activity,
+)
 from repro.activitypub.actors import Actor
 from repro.fediverse.clock import SECONDS_PER_DAY
 from repro.fediverse.post import MediaAttachment, Post
@@ -176,9 +185,47 @@ class LinkShortenerPolicy(MRFPolicy):
         return self.accept(activity)
 
 
+class BoostSpamPolicy(MRFPolicy):
+    """An example of authoring an *announce-aware* policy plan.
+
+    Drops boosts (``Announce``) coming from boost-spam origins while
+    leaving their ordinary posts alone.  The plan gates on
+    ``activity_types={ANNOUNCE}`` — outside the gate the policy provably
+    never acts, so Create batches never pay for it — and triggers on the
+    origin domains, so the per-``(origin, type)`` batch program only
+    routes Announce traffic from the listed origins into the walk.
+    """
+
+    name = "BoostSpamPolicy"
+
+    #: Origins whose boosts are refused wholesale.
+    BOOST_SPAMMERS = frozenset({"noisy.example"})
+
+    def plan(self) -> DecisionPlan:
+        return DecisionPlan(
+            triggers=PolicyTriggers(
+                domains=self.BOOST_SPAMMERS,
+                activity_types=frozenset({ActivityType.ANNOUNCE}),
+            )
+        )
+
+    def filter(self, activity, ctx: MRFContext) -> MRFDecision:
+        if (
+            activity.is_announce
+            and activity.origin_domain in self.BOOST_SPAMMERS
+        ):
+            return self.reject(
+                activity,
+                action="reject",
+                reason="origin floods boosts",
+            )
+        return self.accept(activity)
+
+
 def main() -> None:
     pipeline = build_pipeline()
     pipeline.add_policy(LinkShortenerPolicy())
+    pipeline.add_policy(BoostSpamPolicy())
     print("enabled policies and their decision plans:")
     for policy in pipeline.policies:
         print(f"  {policy.name:22s} {describe_plan(policy)}")
@@ -189,7 +236,10 @@ def main() -> None:
         f"({len(pipeline.policies) - len(compiled.entries)} provably inert, dropped)"
     )
     print()
-    header = f"{'origin':22s} {'author':10s} {'verdict':8s} {'policy':20s} {'action':28s}"
+    header = (
+        f"{'origin':22s} {'author':10s} {'verdict':8s} {'policy':20s} "
+        f"{'action':18s} type"
+    )
     print(header)
     print("-" * len(header))
     activities = sample_activities()
@@ -204,12 +254,28 @@ def main() -> None:
             )
         )
     )
+    # The activity mix: deliveries are not all post-shaped.  Boosts and
+    # favourites carry an object URI, so only origin/handle triggers and
+    # type gates can fire for them.
+    booster = Actor(username="fan", domain="noisy.example")
+    activities.append(
+        announce_activity("https://home.example/posts/1", booster, published=NOW - 60)
+    )
+    activities.append(
+        like_activity(
+            "https://home.example/posts/1",
+            Actor(username="ana", domain="friendly.example"),
+            published=NOW - 30,
+        )
+    )
     for activity in activities:
         decision = pipeline.filter(activity, now=NOW)
         author = activity.actor.username
+        kind = activity.activity_type.value
         print(
             f"{activity.origin_domain:22s} {author:10s} "
-            f"{decision.verdict.value:8s} {decision.policy or '-':20s} {decision.action:28s}"
+            f"{decision.verdict.value:8s} {decision.policy or '-':20s} "
+            f"{decision.action:18s} {kind}"
         )
     print()
     print(f"moderation events recorded: {len(pipeline.events)}")
@@ -230,6 +296,29 @@ def main() -> None:
         now=NOW,
     )
     print(f"\nbatch program for blocked.example shares one decision: {shared}")
+
+    # Per-(origin, type) programs: an Announce batch has no post, so every
+    # post-shaped policy (ObjectAge, Hellthread, Keyword, LinkShortener)
+    # provably drops out of its walk — only the type-gated BoostSpamPolicy
+    # and the origin-pure SimplePolicy survive for the origins they name.
+    def render(program) -> str:
+        if program.general:
+            return "general walk (an origin-fired policy may act per activity)"
+        if program.shared is not None:
+            return f"shared reject by {program.shared[0]}"
+        if program.residual:
+            return f"{len(program.residual)} residual polic(ies)"
+        return "skip (no policy can act)"
+
+    local = pipeline.local_domain
+    for origin in ("friendly.example", "noisy.example"):
+        create_prog = compiled.program_for(origin, local)
+        boost_prog = compiled.program_for_type(
+            origin, local, ActivityType.ANNOUNCE
+        )
+        print(f"programs for {origin}:")
+        print(f"  Create   -> {render(create_prog)}")
+        print(f"  Announce -> {render(boost_prog)}")
 
 
 if __name__ == "__main__":

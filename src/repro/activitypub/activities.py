@@ -22,6 +22,7 @@ class ActivityType(str, Enum):
     ACCEPT = "Accept"
     REJECT = "Reject"
     ANNOUNCE = "Announce"
+    LIKE = "Like"
     DELETE = "Delete"
     UNDO = "Undo"
     FLAG = "Flag"
@@ -33,8 +34,9 @@ class Activity:
     """A single activity sent from one instance to another.
 
     ``obj`` carries the activity payload: a :class:`Post` for ``Create`` and
-    ``Update``, an object URI (string) for ``Delete``/``Announce``/``Follow``
-    and a free-form dictionary for ``Flag`` (reports).
+    ``Update``, an object URI (string) for
+    ``Delete``/``Announce``/``Like``/``Follow`` and a free-form dictionary
+    for ``Flag`` (reports).
     """
 
     activity_id: str
@@ -69,6 +71,16 @@ class Activity:
     def is_flag(self) -> bool:
         """Return ``True`` for reports (Flag activities)."""
         return self.activity_type is ActivityType.FLAG
+
+    @property
+    def is_announce(self) -> bool:
+        """Return ``True`` for boosts (Announce activities)."""
+        return self.activity_type is ActivityType.ANNOUNCE
+
+    @property
+    def is_like(self) -> bool:
+        """Return ``True`` for favourites (Like activities)."""
+        return self.activity_type is ActivityType.LIKE
 
     @property
     def post(self) -> Post | None:
@@ -118,6 +130,31 @@ def delete_activity(post_uri: str, actor: Actor, published: float) -> Activity:
     return Activity(
         activity_id=_next_id(actor.domain),
         activity_type=ActivityType.DELETE,
+        actor=actor,
+        origin_domain=actor.domain,
+        published=published,
+        obj=post_uri,
+    )
+
+
+def announce_activity(post_uri: str, actor: Actor, published: float) -> Activity:
+    """Build an ``Announce`` (boost) of a previously federated post."""
+    return Activity(
+        activity_id=_next_id(actor.domain),
+        activity_type=ActivityType.ANNOUNCE,
+        actor=actor,
+        origin_domain=actor.domain,
+        published=published,
+        obj=post_uri,
+        to=("https://www.w3.org/ns/activitystreams#Public",),
+    )
+
+
+def like_activity(post_uri: str, actor: Actor, published: float) -> Activity:
+    """Build a ``Like`` (favourite) of a previously federated post."""
+    return Activity(
+        activity_id=_next_id(actor.domain),
+        activity_type=ActivityType.LIKE,
         actor=actor,
         origin_domain=actor.domain,
         published=published,

@@ -174,6 +174,28 @@ class StreamingEdgeSink(DeliverySink):
         self.streamed += 1
 
 
+#: Activity types whose payload is a :class:`Post` — their batches go
+#: through the per-origin (post-shaped) batch program, never a per-type one.
+_POST_CARRYING = frozenset({ActivityType.CREATE, ActivityType.UPDATE})
+
+
+def _batch_type(activities: list[Activity]) -> ActivityType | None:
+    """Return the batch's shared post-less activity type, if it has one.
+
+    Generated batches are type-homogeneous, which is what lets the pipeline
+    specialise a per-``(origin, type)`` program; hand-built batches may mix
+    types, in which case (``None``) the type-agnostic per-origin program —
+    whose predicates all guard on the payload being a post — stays correct.
+    """
+    first = activities[0].activity_type
+    if first in _POST_CARRYING:
+        return None
+    for activity in activities:
+        if activity.activity_type is not first:
+            return None
+    return first
+
+
 def apply_accepted(registry: FediverseRegistry, activity: Activity, target: Instance) -> None:
     """Apply an MRF-accepted ``activity`` to the ``target`` instance."""
     if activity.is_create and activity.post is not None:
@@ -186,8 +208,12 @@ def apply_accepted(registry: FediverseRegistry, activity: Activity, target: Inst
             pass
     elif activity.is_follow and isinstance(activity.obj, str):
         _apply_follow(registry, activity, target)
-    # Flag / Announce / other types accepted by the MRF do not change
-    # instance state in this model beyond being logged.
+    elif activity.is_announce and isinstance(activity.obj, str):
+        target.receive_announce(activity.obj)
+    elif activity.is_like and isinstance(activity.obj, str):
+        target.receive_like(activity.obj)
+    # Flag / other types accepted by the MRF do not change instance state
+    # in this model beyond being logged.
 
 
 def _apply_follow(registry: FediverseRegistry, activity: Activity, target: Instance) -> None:
@@ -218,14 +244,24 @@ class FederationDelivery:
     :class:`ListSink` bound to :attr:`reports` preserves the seed behaviour;
     pass an explicit list of sinks (possibly empty) to avoid materialising
     reports.  Aggregate counters in :attr:`stats` are always maintained.
+
+    ``verifier`` optionally attaches an HTTP-signature verification cost
+    model (:class:`repro.protocol.httpsig.HttpSignatureVerifier`): every
+    delivery is verified before validation and MRF filtering, with the cost
+    charged to the verifier's own simulated clock.  Activities failing
+    verification are dropped before delivery (real servers answer 401
+    before the MRF ever runs).  ``None`` — the default — performs no
+    verification at all, keeping existing runs bit-identical.
     """
 
     def __init__(
         self,
         registry: FediverseRegistry,
         sinks: Sequence[DeliverySink] | None = None,
+        verifier=None,
     ) -> None:
         self.registry = registry
+        self.verifier = verifier
         self.stats = FederationStats()
         self.reports: list[DeliveryReport] = []
         #: How many single-origin batches were rejected wholesale by the
@@ -263,6 +299,13 @@ class FederationDelivery:
         """
         target_domain = normalise_domain(target_domain)
         return self._deliver_to(self.registry.get(target_domain), activities)
+
+    def _verified(self, activities: list[Activity]) -> list[Activity]:
+        """Run the optional signature verifier over a batch."""
+        verifier = self.verifier
+        if verifier is None:
+            return activities
+        return verifier.verified_only(activities)
 
     def _validate_batch(
         self, target: Instance, activities: list[Activity]
@@ -315,7 +358,11 @@ class FederationDelivery:
         """
         if len(origins) == 1 and activities:
             shared, decisions, rewrites = target.mrf.apply_batch(
-                activities, next(iter(origins)), now, lean=lean
+                activities,
+                next(iter(origins)),
+                now,
+                lean=lean,
+                activity_type=_batch_type(activities),
             )
             if shared is not None:
                 self.batch_rejects += 1
@@ -328,7 +375,9 @@ class FederationDelivery:
         self, target: Instance, activities: Iterable[Activity]
     ) -> list[DeliveryReport]:
         """Batched delivery core: ``target`` is already resolved."""
-        activities = list(activities)
+        activities = self._verified(list(activities))
+        if not activities:
+            return []
         origins = self._validate_batch(target, activities)
         registry = self.registry
         target_domain = target.domain
@@ -409,7 +458,9 @@ class FederationDelivery:
             target = registry.get_normalised(target_domain)
         except UnknownInstanceError:
             target = registry.get(normalise_domain(target_domain))
-        activities = list(activities)
+        activities = self._verified(list(activities))
+        if not activities:
+            return 0, 0
         origins = self._validate_batch(target, activities)
         now = registry.clock.now()
 

@@ -32,6 +32,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.api.http import (
     ATTEMPTS_HEADER,
+    DEFAULT_USER_AGENT,
     FAULT_HEADER,
     HTTPRequest,
     HTTPResponse,
@@ -136,9 +137,13 @@ class APIClient:
         self,
         server: FediverseAPIServer,
         retry: RetryPolicy | None = None,
+        user_agent: str = DEFAULT_USER_AGENT,
     ) -> None:
         self.server = server
         self.retry = retry
+        #: Sent with every request; UA-blocking instances 403 the default
+        #: crawler identification (``CRAWLER_UA_TOKEN``).
+        self.user_agent = user_agent
         self.stats = ClientStats()
         self._budgets: dict[str, int] = {}
         self._jitter: dict[str, random.Random] = {}
@@ -297,7 +302,8 @@ class APIClient:
             self._record_short_circuit(blocked, domain)
             return blocked
         response, attempts = self._send_with_retry(
-            domain, lambda: self.server.get(domain, path)
+            domain,
+            lambda: self.server.get(domain, path, user_agent=self.user_agent),
         )
         return self._annotate(response, attempts)
 
@@ -326,7 +332,9 @@ class APIClient:
         record = self.stats.record
         responses = [
             self._normalise(response)
-            for response in self.server.handle_batch(domain, paths)
+            for response in self.server.handle_batch(
+                domain, paths, user_agent=self.user_agent
+            )
         ]
         for response in responses:
             record(response.status, domain)
@@ -348,7 +356,9 @@ class APIClient:
             )
             self._spend(domain, len(pending))
             retried = self.server.handle_batch(
-                domain, [paths[index] for index in pending]
+                domain,
+                [paths[index] for index in pending],
+                user_agent=self.user_agent,
             )
             for index, response in zip(pending, retried):
                 response = self._normalise(response)
@@ -385,7 +395,8 @@ class APIClient:
                 open_domains.append((index, domain))
         if open_domains:
             served = self.server.metadata_round(
-                [domain for _, domain in open_domains]
+                [domain for _, domain in open_domains],
+                user_agent=self.user_agent,
             )
             for (index, domain), response in zip(open_domains, served):
                 response = self._normalise(response)
@@ -412,7 +423,9 @@ class APIClient:
             )
             for _, domain in pending:
                 self._spend(domain, 1)
-            retried = self.server.metadata_round([domain for _, domain in pending])
+            retried = self.server.metadata_round(
+                [domain for _, domain in pending], user_agent=self.user_agent
+            )
             for (index, domain), response in zip(pending, retried):
                 response = self._normalise(response)
                 responses[index] = response
@@ -456,7 +469,11 @@ class APIClient:
 
         def pull() -> TimelineStream:
             stream = self.server.stream_timeline(
-                domain, local=local, page_size=page_size, max_posts=max_posts
+                domain,
+                local=local,
+                page_size=page_size,
+                max_posts=max_posts,
+                user_agent=self.user_agent,
             )
             status = stream.status
             for _ in range(stream.pages):

@@ -17,6 +17,15 @@ FAULT_HEADER = "X-Fault"
 #: Annotation added by the retrying client to a response it gave up on:
 #: how many attempts the logical request consumed.
 ATTEMPTS_HEADER = "X-Attempts"
+#: The request header carrying the client's self-identification.
+USER_AGENT_HEADER = "User-Agent"
+#: The product token instances match (case-insensitively, as a substring)
+#: to refuse known measurement crawlers — the Epicyon-style blocking the
+#: ``ua_blocking_share`` scenario knob plants on instances.
+CRAWLER_UA_TOKEN = "repro-crawler"
+#: The User-Agent string the measurement client sends with every request.
+#: It honestly names the crawler, so UA-blocking instances refuse it.
+DEFAULT_USER_AGENT = f"{CRAWLER_UA_TOKEN}/1.0 (measurement campaign)"
 
 
 class HTTPStatus(IntEnum):

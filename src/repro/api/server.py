@@ -32,7 +32,13 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.api.http import HTTPRequest, HTTPResponse, HTTPStatus, freeze_json
+from repro.api.http import (
+    USER_AGENT_HEADER,
+    HTTPRequest,
+    HTTPResponse,
+    HTTPStatus,
+    freeze_json,
+)
 from repro.api.router import Router
 from repro.fediverse.errors import UnknownInstanceError
 from repro.fediverse.instance import Instance
@@ -43,6 +49,25 @@ from repro.fediverse.registry import FediverseRegistry
 #: 20, with a maximum of 40; Pleroma accepts larger pages).
 DEFAULT_TIMELINE_LIMIT = 20
 MAX_TIMELINE_LIMIT = 40
+
+#: The error message of a user-agent-blocked 403 — distinct from every
+#: availability reason, so crawl failures attribute it unambiguously.
+UA_BLOCKED_REASON = "user agent blocked"
+
+
+def agent_blocked(instance: Instance, user_agent: str) -> bool:
+    """Return ``True`` when ``instance`` refuses this ``user_agent``.
+
+    Epicyon-style matching: a case-insensitive substring test of each
+    blocked token against the presented agent string.  An empty agent
+    string is never blocked (the simulation's internal callers — delivery,
+    tests poking the server directly — present no User-Agent).
+    """
+    blocked = instance.blocked_user_agents
+    if not blocked or not user_agent:
+        return False
+    agent = user_agent.lower()
+    return any(token.lower() in agent for token in blocked)
 
 
 def serialise_status(post: Post) -> dict[str, Any]:
@@ -195,17 +220,27 @@ class FediverseAPIServer:
                 return HTTPResponse.error(
                     status, instance.availability.reason_at(now)
                 )
+            agent = request.headers.get(USER_AGENT_HEADER, "")
+            if agent_blocked(instance, agent):
+                return HTTPResponse.error(HTTPStatus.FORBIDDEN, UA_BLOCKED_REASON)
             return self.router.dispatch(request)
 
-    def get(self, domain: str, url: str) -> HTTPResponse:
+    def get(
+        self, domain: str, url: str, *, user_agent: str = ""
+    ) -> HTTPResponse:
         """Convenience wrapper: handle a GET described by a path-with-query."""
-        return self.handle(HTTPRequest.from_url(domain, url))
+        headers = {USER_AGENT_HEADER: user_agent} if user_agent else None
+        return self.handle(HTTPRequest.from_url(domain, url, headers))
 
     # ------------------------------------------------------------------ #
     # Batch entry points (the crawl engine)
     # ------------------------------------------------------------------ #
     def handle_batch(
-        self, domain: str, requests: Sequence[HTTPRequest | str]
+        self,
+        domain: str,
+        requests: Sequence[HTTPRequest | str],
+        *,
+        user_agent: str = "",
     ) -> list[HTTPResponse]:
         """Serve a group of requests addressed to one instance.
 
@@ -232,6 +267,9 @@ class FediverseAPIServer:
                 error = self._availability_error(
                     availability.status_at(now), availability.reason_at(now)
                 )
+                return [error] * count
+            if agent_blocked(instance, user_agent):
+                error = self._availability_error(403, UA_BLOCKED_REASON)
                 return [error] * count
 
             responses = []
@@ -261,7 +299,9 @@ class FediverseAPIServer:
         """
         return self._serve_metadata(instance).body
 
-    def metadata_round(self, domains: Sequence[str]) -> list[HTTPResponse]:
+    def metadata_round(
+        self, domains: Sequence[str], *, user_agent: str = ""
+    ) -> list[HTTPResponse]:
         """Serve one snapshot round's metadata requests in a single call.
 
         Returns one response per domain, in order — exactly what the same
@@ -284,14 +324,16 @@ class FediverseAPIServer:
                 continue
             with self.instance_lock(instance.domain):
                 availability = instance.availability
-                if availability.ok_at(now):
-                    responses.append(serve(instance))
-                else:
+                if not availability.ok_at(now):
                     responses.append(
                         self._availability_error(
                             availability.status_at(now), availability.reason_at(now)
                         )
                     )
+                elif agent_blocked(instance, user_agent):
+                    responses.append(self._availability_error(403, UA_BLOCKED_REASON))
+                else:
+                    responses.append(serve(instance))
         return responses
 
     def _availability_error(self, status: int, reason: str) -> HTTPResponse:
@@ -322,6 +364,7 @@ class FediverseAPIServer:
         local: bool = False,
         page_size: int = DEFAULT_TIMELINE_LIMIT,
         max_posts: int | None = None,
+        user_agent: str = "",
     ) -> TimelineStream:
         """Serve a whole paged timeline collection in one call.
 
@@ -345,6 +388,10 @@ class FediverseAPIServer:
             if not availability.ok_at(now):
                 status = HTTPStatus(availability.status_at(now))
                 return TimelineStream(status, availability.reason_at(now), [], 1)
+            if agent_blocked(instance, user_agent):
+                return TimelineStream(
+                    HTTPStatus.FORBIDDEN, UA_BLOCKED_REASON, [], 1
+                )
             if not instance.expose_public_timeline:
                 return TimelineStream(
                     HTTPStatus.FORBIDDEN,

@@ -151,25 +151,29 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
     # Transport entry points (the APIClient surface)
     # ------------------------------------------------------------------ #
-    def get(self, domain: str, url: str) -> HTTPResponse:
+    def get(self, domain: str, url: str, *, user_agent: str = "") -> HTTPResponse:
         """Serve one GET, possibly injecting a fault."""
         schedule = self.plan.schedule_for(domain)
         if schedule is None:
-            return self.server.get(domain, url)
+            return self.server.get(domain, url, user_agent=user_agent)
         before = self.stats.timeout_seconds
         injected = self._decide(schedule, self.server.registry.clock.now(), True)
         if injected is None:
-            return self.server.get(domain, url)
+            return self.server.get(domain, url, user_agent=user_agent)
         self._charge_timeouts(before)
         return injected
 
     def handle_batch(
-        self, domain: str, requests: Sequence[HTTPRequest | str]
+        self,
+        domain: str,
+        requests: Sequence[HTTPRequest | str],
+        *,
+        user_agent: str = "",
     ) -> list[HTTPResponse]:
         """Serve a one-domain request group, splicing injected faults in."""
         schedule = self.plan.schedule_for(domain)
         if schedule is None:
-            return self.server.handle_batch(domain, requests)
+            return self.server.handle_batch(domain, requests, user_agent=user_agent)
         now = self.server.registry.clock.now()
         before = self.stats.timeout_seconds
         injected: dict[int, HTTPResponse] = {}
@@ -181,8 +185,12 @@ class FaultInjector:
             else:
                 injected[index] = fault
         if not injected:
-            return self.server.handle_batch(domain, requests)
-        served = iter(self.server.handle_batch(domain, clean)) if clean else iter(())
+            return self.server.handle_batch(domain, requests, user_agent=user_agent)
+        served = (
+            iter(self.server.handle_batch(domain, clean, user_agent=user_agent))
+            if clean
+            else iter(())
+        )
         responses = [
             injected[index] if index in injected else next(served)
             for index in range(len(requests))
@@ -190,7 +198,9 @@ class FaultInjector:
         self._charge_timeouts(before)
         return responses
 
-    def metadata_round(self, domains: Sequence[str]) -> list[HTTPResponse]:
+    def metadata_round(
+        self, domains: Sequence[str], *, user_agent: str = ""
+    ) -> list[HTTPResponse]:
         """Serve a snapshot round's metadata requests, faults spliced in."""
         plan = self.plan
         now = self.server.registry.clock.now()
@@ -207,8 +217,12 @@ class FaultInjector:
             else:
                 injected[index] = fault
         if not injected:
-            return self.server.metadata_round(domains)
-        served = iter(self.server.metadata_round(clean)) if clean else iter(())
+            return self.server.metadata_round(domains, user_agent=user_agent)
+        served = (
+            iter(self.server.metadata_round(clean, user_agent=user_agent))
+            if clean
+            else iter(())
+        )
         responses = [
             injected[index] if index in injected else next(served)
             for index in range(len(domains))
@@ -223,12 +237,17 @@ class FaultInjector:
         local: bool = False,
         page_size: int = 20,
         max_posts: int | None = None,
+        user_agent: str = "",
     ) -> TimelineStream:
         """Serve a timeline stream, possibly faulted or silently truncated."""
         schedule = self.plan.schedule_for(domain)
         if schedule is None:
             return self.server.stream_timeline(
-                domain, local=local, page_size=page_size, max_posts=max_posts
+                domain,
+                local=local,
+                page_size=page_size,
+                max_posts=max_posts,
+                user_agent=user_agent,
             )
         spec = self._spec
         now = self.server.registry.clock.now()
@@ -249,7 +268,11 @@ class FaultInjector:
                 fault_kind=injected.fault_kind,
             )
         stream = self.server.stream_timeline(
-            domain, local=local, page_size=page_size, max_posts=max_posts
+            domain,
+            local=local,
+            page_size=page_size,
+            max_posts=max_posts,
+            user_agent=user_agent,
         )
         if (
             stream.ok

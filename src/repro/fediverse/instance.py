@@ -86,6 +86,7 @@ class Instance:
         expose_public_timeline: bool = True,
         expose_nodeinfo: bool = True,
         install_default_policies: bool = True,
+        blocked_user_agents: tuple[str, ...] = (),
     ) -> None:
         self.domain = normalise_domain(domain)
         self.software = software
@@ -103,10 +104,18 @@ class Instance:
         # Some instances answer the Mastodon API but never publish nodeinfo;
         # crawlers then cannot classify their software.
         self.expose_nodeinfo = expose_nodeinfo
+        # Epicyon-style known-crawler blocking: API requests whose
+        # User-Agent contains any of these tokens (case-insensitive) are
+        # refused with a 403.
+        self.blocked_user_agents = blocked_user_agents
 
         self.users: dict[str, User] = {}
         self.posts: dict[str, Post] = {}
         self.remote_posts: dict[str, Post] = {}
+        # Engagement received through federation: object URI -> count of
+        # accepted Announce (boosts) / Like (favourites) deliveries.
+        self.boosts: dict[str, int] = {}
+        self.favourites: dict[str, int] = {}
         self.peers: set[str] = set()
         self.timelines = InstanceTimelines()
         self._post_counter = itertools.count(1)
@@ -245,6 +254,14 @@ class Instance:
             "federated_timeline_removal", False
         ):
             self.timelines.whole_known_network.add(post_id)
+
+    def receive_announce(self, object_uri: str) -> None:
+        """Count a boost (``Announce``) of ``object_uri`` accepted by the MRF."""
+        self.boosts[object_uri] = self.boosts.get(object_uri, 0) + 1
+
+    def receive_like(self, object_uri: str) -> None:
+        """Count a favourite (``Like``) of ``object_uri`` accepted by the MRF."""
+        self.favourites[object_uri] = self.favourites.get(object_uri, 0) + 1
 
     def delete_post(self, post_id: str) -> None:
         """Delete a local or remote post and drop it from timelines."""

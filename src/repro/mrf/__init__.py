@@ -60,6 +60,29 @@ stronger, *exact* properties:
   filter* — so never declare them for decisions that read anything the
   declaration doesn't.
 
+**Non-Create traffic.**  Deliveries are not all post-shaped: boosts
+(``Announce``), favourites (``Like``), Deletes, Follows and Flags carry an
+object URI or a free-form payload, never a :class:`~repro.fediverse.post.Post`.
+The pipeline compiles a dedicated batch program per ``(origin, type)`` for
+type-homogeneous post-less batches (see
+:meth:`~repro.mrf.pipeline.CompiledPipeline.program_for_type`), built from
+:meth:`~repro.mrf.base.PolicyTriggers.may_touch_postless`: only the origin
+and handle triggers (and the ``activity_types``/``local_origin_only``
+gates) can fire for a post-less activity — every post-shaped trigger
+(age, visibility, mentions, content, media/bot/reply flags) is provably a
+no-op, so a plan whose triggers are all post-shaped drops out of the
+Announce/Like walk entirely.  When authoring a policy that acts on
+non-Create types, declare ``activity_types`` with the full set of types
+any side-effectful branch handles (see ``AntiFollowbotPolicy`` for the
+single-type shape); when your policy only ever reads ``activity.post``,
+declare *no* ``activity_types`` gate — the post-less program builder
+already proves you away, and an explicit ``{CREATE}`` gate would push the
+common Create batches off the tighter ungated fast path for no gain
+(which is why the shipped post-shaped policies stay ungated).
+``origin_pure`` hooks remain exact for every type: an origin-level reject
+fires before any payload is read, so single-origin Announce floods are
+rejected with one shared decision.
+
 Bump ``config_version`` (via ``self._bump_config_version()``) in every
 mutating configuration method so compiled pipelines rebuild your plan; the
 interned content columns behind ``PolicyTriggers.content`` are re-keyed by

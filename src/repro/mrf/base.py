@@ -190,6 +190,29 @@ class PolicyTriggers:
                 return True
         return False
 
+    def may_touch_postless(
+        self, origin: str, activity_type: "ActivityType", local_domain: str
+    ) -> bool:
+        """Could the policy touch a post-less ``activity_type`` from ``origin``?
+
+        The per-type batch-program builder calls this for batches whose
+        payloads are not posts (Announce, Like, Delete, Follow, Flag…).
+        ``False`` is a proof: every post-shaped trigger needs a
+        :class:`~repro.fediverse.post.Post` payload, so only the gates, the
+        origin triggers and the actor-handle triggers can fire — if none
+        can, the policy is provably silent on the whole batch.
+
+        ``origin != local_domain`` is assumed (deliveries never originate
+        at their target), so ``local_origin_only`` policies are dead here.
+        """
+        if self.local_origin_only and origin != local_domain:
+            return False
+        if self.activity_types is not None and activity_type not in self.activity_types:
+            return False
+        if self.origin_fires(origin):
+            return True
+        return bool(self.handles)
+
     def could_act_for(self, origin: str) -> bool:
         """Return ``True`` when some activity from ``origin`` could be touched.
 

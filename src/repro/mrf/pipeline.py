@@ -243,6 +243,7 @@ class CompiledPipeline:
         "reply_with_subject",
         "special",
         "_programs",
+        "_type_programs",
         "_default_program",
         "_default_ok",
     )
@@ -346,6 +347,9 @@ class CompiledPipeline:
         #: origin -> BatchProgram, filled lazily (compiles are per-config,
         #: so the cache can never go stale).
         self._programs: dict[str, BatchProgram] = {}
+        #: (origin, activity_type) -> BatchProgram for type-homogeneous
+        #: batches carrying no posts (Announce, Like, …), filled lazily.
+        self._type_programs: dict[tuple[str, ActivityType], BatchProgram] = {}
         #: The program shared by every origin missing the merged origin
         #: sets, built on first use (see :meth:`program_for`).
         self._default_program: BatchProgram | None = None
@@ -435,6 +439,82 @@ class CompiledPipeline:
             program = self._build_program(origin, local_domain)
             self._programs[origin] = program
         return program
+
+    def program_for_type(
+        self, origin: str, local_domain: str, activity_type: ActivityType
+    ) -> BatchProgram:
+        """Return the program for a post-less, type-homogeneous batch.
+
+        Callers must guarantee every activity of the batch has exactly
+        ``activity_type`` and that the type's payload is not a
+        :class:`~repro.fediverse.post.Post` (Announce, Like, Delete, Follow,
+        Flag…) — :func:`repro.activitypub.delivery._batch_type` establishes
+        both.  Post-carrying batches use :meth:`program_for`.
+        """
+        key = (origin, activity_type)
+        program = self._type_programs.get(key)
+        if program is None:
+            program = self._build_type_program(origin, local_domain, activity_type)
+            self._type_programs[key] = program
+        return program
+
+    def _build_type_program(
+        self, origin: str, local_domain: str, activity_type: ActivityType
+    ) -> BatchProgram:
+        """Classify a single-origin batch of post-less ``activity_type``.
+
+        Far more collapses here than in :meth:`_build_program`, because no
+        activity of the batch carries a post: every post-shaped trigger is
+        provably silent (they all require a Post payload), and a live
+        policy whose behaviour is stage-describable — a
+        :class:`~repro.mrf.base.SharedRewrite` or a non-``None``
+        ``origin_stages`` result — is a provable no-op, since the
+        SharedRewrite contract guarantees the policy passes every activity
+        not carrying an old-enough post through untouched.  An Announce is
+        therefore origin-pure for most shipped policies: the program is
+        either a skip, a terminal shared reject, or (for actor-handle
+        triggers) a residual sending selected activities through the walk.
+        """
+        residual: list[PolicyTriggers] = []
+        shared: tuple[str, str, str] | None = None
+        for policy, plan in self.plans:
+            if plan is None:
+                return _GENERAL_PROGRAM
+            triggers = plan.triggers
+            if not triggers.may_touch_postless(origin, activity_type, local_domain):
+                continue
+            if plan.origin_pure is not None:
+                hit = plan.origin_pure(origin, local_domain)
+                if hit is not None:
+                    # Origin-pure rejects are type-independent by contract:
+                    # everything after this entry is unreachable.
+                    shared = (policy.name, hit[0], hit[1])
+                    break
+            if triggers.origin_fires(origin):
+                rewrite = plan.shared_rewrite
+                if rewrite is None and plan.origin_stages is not None:
+                    rewrite = plan.origin_stages(origin, local_domain)
+                if rewrite is None:
+                    # Live for the whole batch with no stageable (post-only)
+                    # description: the policy may act on post-less
+                    # activities in ways no program can express (actor
+                    # rewrites, type-dependent rejects, stateful passes).
+                    return _GENERAL_PROGRAM
+                # Stage-describable behaviour only touches posts — a
+                # provable no-op on this batch; drop the entry entirely.
+                continue
+            # Reachable only through actor-handle triggers: evaluate per
+            # activity, sending fired activities through the full walk.
+            residual.append(triggers)
+        if shared is None and not residual:
+            return _SKIP_PROGRAM
+        return BatchProgram(
+            shared=shared,
+            residual=tuple(
+                _residual_predicate(triggers, local_domain) for triggers in residual
+            ),
+            uniform=shared is not None and not residual,
+        )
 
     def _build_program(self, origin: str, local_domain: str) -> BatchProgram:
         """Classify how a single-origin batch can be decided.
@@ -788,6 +868,7 @@ class MRFPipeline:
         origin: str,
         now: float,
         lean: bool = False,
+        activity_type: ActivityType | None = None,
     ) -> tuple[tuple[str, str, str] | None, list | None, int]:
         """Decide a whole single-origin batch, sharing what the plans allow.
 
@@ -808,10 +889,20 @@ class MRFPipeline:
           a policy run.
 
         ``origin`` must be the normalised origin of every activity in the
-        batch, as activity origins are.
+        batch, as activity origins are.  ``activity_type`` — when the caller
+        can prove the batch is type-homogeneous with a post-less payload
+        type (Announce, Like, …) — selects the tighter per-``(origin,
+        type)`` program (see :meth:`CompiledPipeline.program_for_type`);
+        ``None`` keeps the type-agnostic per-origin program, which is
+        always correct.
         """
         compiled = self.compiled()
-        program = compiled.program_for(origin, self.local_domain)
+        if activity_type is not None:
+            program = compiled.program_for_type(
+                origin, self.local_domain, activity_type
+            )
+        else:
+            program = compiled.program_for(origin, self.local_domain)
         if program.general:
             return (None, self.filter_batch_lazy(activities, now), 0)
         shared = program.shared

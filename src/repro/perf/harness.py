@@ -349,6 +349,229 @@ def bench_delivery(scenario: str, seed: int = 42, repeats: int = 2) -> dict[str,
     }
 
 
+#: Activity-mix overrides the ``protocol`` stage applies to Create-only
+#: scenarios, so its full-mix gates exercise Announce/Like/reply traffic
+#: even where the scenario itself ships none (`viral`/`hellthread` carry
+#: their own mix and are used as configured).
+_PROTOCOL_MIX: dict[str, Any] = {
+    "federation_announce_share": 0.5,
+    "federation_announces_per_peer": 3,
+    "federation_like_share": 0.4,
+    "federation_likes_per_peer": 2,
+    "federation_hot_post_count": 8,
+    "reply_thread_share": 0.1,
+    "reply_thread_max_depth": 10,
+}
+
+#: Overrides forcing a scenario back to pure-Create federation (the
+#: pre-protocol workload), whatever mix it ships with.
+_PROTOCOL_ZERO: dict[str, Any] = {
+    "federation_announce_share": 0.0,
+    "federation_like_share": 0.0,
+    "reply_thread_share": 0.0,
+    "ua_blocking_share": 0.0,
+}
+
+
+def bench_protocol(scenario: str, seed: int = 42, repeats: int = 2) -> dict[str, float]:
+    """Gate the protocol-realism subsystem and time signature amortisation.
+
+    Three gates (each raising on divergence), then one timed comparison:
+
+    1. *Create-only bit-identity*: with every protocol knob zeroed the
+       batched engine must still match the seed delivery loop exactly —
+       the type-aware batch programs and the verifier hook must be
+       invisible when the workload is pure Create traffic.
+    2. *Full-mix engine equivalence*: on the full Announce/Like/reply mix
+       the batched engine (type-homogeneous fast paths engaged), the
+       seed's general one-at-a-time walk and the sharded engine's merged
+       state must be bit-identical — boosts/favourite counters included.
+    3. *Full-mix serving equivalence*: a measurement campaign over the
+       mixed population must produce a bit-identical :class:`CrawlResult`
+       through the sequential and the concurrent (2-thread) crawl engine.
+
+    The timed comparison is signature-cache amortisation: every delivery
+    is HTTP-signature verified, once with a per-delivery key derivation
+    (``naive_seconds`` — the server that re-fetches the actor key each
+    time) and once with a shared :class:`~repro.protocol.httpsig.ActorKeyCache`
+    (``engine_seconds``).  Both runs must land the exact engine state of
+    gate 2, and the headline ``speedup`` is the amortisation factor the
+    CI ``--min-speedup`` floor checks.
+    """
+    from repro.crawler.campaign import ConcurrentMeasurementCampaign
+    from repro.protocol.httpsig import ActorKeyCache, HttpSignatureVerifier
+    from repro.shard.engine import federate_sharded
+
+    repeats = max(1, repeats)
+
+    def federate(config, verifier=None):
+        """Prepare, stream and deliver one fediverse; time delivery only."""
+        generator = FediverseGenerator(config)
+        prepared = generator.prepare()
+        work = list(generator.federation_batches(prepared))
+        delivery = FederationDelivery(
+            prepared.registry, sinks=[], verifier=verifier
+        )
+        stats = prepared.stats
+        _level_heap()
+        start = time.perf_counter()
+        for batch in work:
+            delivered, rejected = delivery.deliver_batch_counted(
+                batch.activities, batch.target_domain
+            )
+            stats.federated_deliveries += delivered
+            stats.rejected_deliveries += rejected
+        elapsed = time.perf_counter() - start
+        return prepared, work, delivery, elapsed
+
+    # Gate 1: Create-only configurations stay bit-identical to the seed.
+    create_config = scenario_config(scenario, seed=seed, **_PROTOCOL_ZERO)
+    prepared, _, delivery, _ = federate(create_config)
+    create_state = _federation_state(prepared, delivery.stats)
+    generator = FediverseGenerator(create_config)
+    prepared = generator.prepare()
+    work = list(generator.federation_batches(prepared))
+    _level_heap()
+    stats, _ = baselines.naive_federate(prepared.registry, work)
+    prepared.stats.federated_deliveries = stats.delivered
+    prepared.stats.rejected_deliveries = stats.rejected
+    _require_equal(
+        _federation_state(prepared, stats),
+        create_state,
+        "Create-only engine state diverged from the seed delivery loop",
+    )
+
+    # The full activity mix: the scenario's own, or the standard overlay.
+    config = scenario_config(scenario, seed=seed)
+    if not (
+        config.federation_announce_share
+        or config.federation_like_share
+        or config.reply_thread_share
+    ):
+        config = scenario_config(scenario, seed=seed, **_PROTOCOL_MIX)
+
+    # Gate 2: batched engine vs general walk vs sharded merge, full mix.
+    prepared, work, delivery, _ = federate(config)
+    mix_state = _federation_state(prepared, delivery.stats)
+    deliveries = delivery.stats.delivered
+    batches = len(work)
+    activities = sum(len(batch.activities) for batch in work)
+    boosts = sum(
+        sum(instance.boosts.values())
+        for instance in prepared.registry.instances()
+    )
+    favourites = sum(
+        sum(instance.favourites.values())
+        for instance in prepared.registry.instances()
+    )
+    registry_stats = prepared.registry.stats()
+    population = {
+        "instances": registry_stats["instances"],
+        "users": registry_stats["users"],
+        "posts": registry_stats["local_posts"],
+    }
+    if not boosts and not favourites:
+        raise RuntimeError(
+            "protocol stage generated no engagement traffic; the activity "
+            "mix is not reaching the delivery engine"
+        )
+    generator = FediverseGenerator(config)
+    prepared = generator.prepare()
+    work = list(generator.federation_batches(prepared))
+    _level_heap()
+    stats, _ = baselines.naive_federate(prepared.registry, work)
+    prepared.stats.federated_deliveries = stats.delivered
+    prepared.stats.rejected_deliveries = stats.rejected
+    _require_equal(
+        _federation_state(prepared, stats),
+        mix_state,
+        "full-mix engine state diverged from the seed's general walk",
+    )
+    generator = FediverseGenerator(config)
+    prepared = generator.prepare()
+    work = list(generator.federation_batches(prepared))
+    _level_heap()
+    result = federate_sharded(prepared, work, 2)
+    _require_equal(
+        result.state,
+        mix_state,
+        "full-mix sharded merge diverged from the single-process engine",
+    )
+
+    # Gate 3: sequential vs concurrent crawl over the mixed population.
+    campaign_config = CampaignConfig(duration_days=2.0)
+    prepared, _, _, _ = federate(config)
+    sequential = MeasurementCampaign(prepared.registry, campaign_config)
+    sequential_result = sequential.crawl()
+    sequential.assemble(sequential_result)
+    prepared, _, _, _ = federate(config)
+    concurrent = ConcurrentMeasurementCampaign(
+        prepared.registry, campaign_config, threads=2
+    )
+    concurrent_result = concurrent.crawl()
+    concurrent.assemble(concurrent_result)
+    _require_equal(
+        _crawl_state(concurrent_result),
+        _crawl_state(sequential_result),
+        "full-mix concurrent crawl diverged from the sequential engine",
+    )
+
+    # Timed: per-delivery key derivation vs the shared actor-key cache.
+    uncached_s = float("inf")
+    uncached_stats = None
+    for _ in range(repeats):
+        prepared, _, delivery, elapsed = federate(
+            config, verifier=HttpSignatureVerifier()
+        )
+        uncached_s = min(uncached_s, elapsed)
+        if uncached_stats is None:
+            uncached_stats = delivery.verifier.stats()
+            _require_equal(
+                _federation_state(prepared, delivery.stats),
+                mix_state,
+                "uncached signature verification changed delivery outcomes",
+            )
+
+    cached_s = float("inf")
+    cached_stats = None
+    for _ in range(repeats):
+        verifier = HttpSignatureVerifier(ActorKeyCache())
+        prepared, _, delivery, elapsed = federate(config, verifier=verifier)
+        cached_s = min(cached_s, elapsed)
+        if cached_stats is None:
+            cached_stats = verifier.stats()
+            _require_equal(
+                _federation_state(prepared, delivery.stats),
+                mix_state,
+                "cached signature verification changed delivery outcomes",
+            )
+    _require_equal(
+        cached_stats.verified,
+        uncached_stats.verified,
+        "cached and uncached verifiers saw different delivery counts",
+    )
+
+    return {
+        "instances": float(population["instances"]),
+        "users": float(population["users"]),
+        "posts": float(population["posts"]),
+        "activities": float(activities),
+        "batches": float(batches),
+        "deliveries": float(deliveries),
+        "boosts_received": float(boosts),
+        "favourites_received": float(favourites),
+        "verifications": float(cached_stats.verified),
+        "uncached_derivations": float(uncached_stats.derivations),
+        "cached_derivations": float(cached_stats.derivations),
+        "cache_hit_rate": cached_stats.hit_rate,
+        "simulated_seconds_uncached": uncached_stats.simulated_seconds,
+        "simulated_seconds_cached": cached_stats.simulated_seconds,
+        "engine_seconds": cached_s,
+        "naive_seconds": uncached_s,
+        "speedup": uncached_s / cached_s if cached_s else float("inf"),
+    }
+
+
 def bench_sharding(
     scenario: str,
     seed: int = 42,
@@ -1258,6 +1481,7 @@ STAGES: tuple[str, ...] = (
     "corpus",
     "threshold_sweep",
     "delivery",
+    "protocol",
     "crawl",
     "chaos",
     "serving",
@@ -1274,10 +1498,15 @@ def default_stages(scenario: str) -> tuple[str, ...]:
 
     ``xxlarge`` exists for the sharded engine alone — a 100k-instance
     crawl/analysis pass is exactly what the scenario is *not* for — so it
-    defaults to the ``sharding`` stage only.
+    defaults to the ``sharding`` stage only.  ``viral`` and ``hellthread``
+    exist for the protocol-realism gates: their inflated Announce/Like/
+    reply volume makes a full analysis pass pointless, so they default to
+    the ``protocol`` stage.
     """
     if scenario == "xxlarge":
         return ("sharding",)
+    if scenario in ("viral", "hellthread"):
+        return ("protocol",)
     return STAGES
 
 
@@ -1353,6 +1582,19 @@ def run_scenario(
         report.metrics["delivery"] = bench_delivery(
             scenario, seed=seed, repeats=min(repeats, 2)
         )
+    if "protocol" in stages:
+        report.metrics["protocol"] = bench_protocol(
+            scenario, seed=seed, repeats=min(repeats, 2)
+        )
+        if not report.dataset:
+            # Protocol-only runs (viral/hellthread) never assemble a crawl
+            # dataset; report the generated mixed-traffic population.
+            protocol = report.metrics["protocol"]
+            report.dataset = {
+                "instances": int(protocol["instances"]),
+                "users": int(protocol["users"]),
+                "posts": int(protocol["posts"]),
+            }
     if "crawl" in stages:
         report.metrics["crawl"] = bench_crawl(
             scenario, seed=seed, repeats=min(repeats, 2)

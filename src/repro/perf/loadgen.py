@@ -61,23 +61,29 @@ class LatencyRecordingTransport:
             self.samples.append(elapsed)
             self.requests += requests
 
-    def get(self, domain: str, url: str) -> HTTPResponse:
+    def get(self, domain: str, url: str, *, user_agent: str = "") -> HTTPResponse:
         start = time.perf_counter()
-        response = self.server.get(domain, url)
+        response = self.server.get(domain, url, user_agent=user_agent)
         self._record(time.perf_counter() - start, 1)
         return response
 
     def handle_batch(
-        self, domain: str, requests: Sequence[HTTPRequest | str]
+        self,
+        domain: str,
+        requests: Sequence[HTTPRequest | str],
+        *,
+        user_agent: str = "",
     ) -> list[HTTPResponse]:
         start = time.perf_counter()
-        responses = self.server.handle_batch(domain, requests)
+        responses = self.server.handle_batch(domain, requests, user_agent=user_agent)
         self._record(time.perf_counter() - start, len(requests))
         return responses
 
-    def metadata_round(self, domains: Sequence[str]) -> list[HTTPResponse]:
+    def metadata_round(
+        self, domains: Sequence[str], *, user_agent: str = ""
+    ) -> list[HTTPResponse]:
         start = time.perf_counter()
-        responses = self.server.metadata_round(domains)
+        responses = self.server.metadata_round(domains, user_agent=user_agent)
         self._record(time.perf_counter() - start, len(domains))
         return responses
 

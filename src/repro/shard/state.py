@@ -75,6 +75,25 @@ def capture_remote_posts(instance: "Instance") -> tuple:
     )
 
 
+def capture_engagement(instance: "Instance") -> tuple:
+    """Snapshot one instance's received boost/favourite counters.
+
+    Sorted by object URI; instances that received no engagement capture an
+    empty tuple, so Create-only runs keep the pre-protocol snapshot shape.
+    Engagement arises only from deliveries **to** an instance, so the
+    ownership argument that makes events/remote-posts merges exact covers
+    it too.
+    """
+    boosts = instance.boosts
+    favourites = instance.favourites
+    if not boosts and not favourites:
+        return ()
+    uris = sorted(set(boosts) | set(favourites))
+    return tuple(
+        (uri, boosts.get(uri, 0), favourites.get(uri, 0)) for uri in uris
+    )
+
+
 def delivery_stats_tuple(stats: "FederationStats") -> tuple:
     """Snapshot the aggregate delivery counters."""
     return (
@@ -105,6 +124,8 @@ class ShardResult:
     events: dict[str, tuple] = field(default_factory=dict)
     #: Owned domain -> captured remote-post state.
     remote_posts: dict[str, tuple] = field(default_factory=dict)
+    #: Owned domain -> captured boost/favourite counters.
+    engagement: dict[str, tuple] = field(default_factory=dict)
 
 
 def valid_shard_result(payload: object, shard: int) -> bool:
@@ -138,6 +159,7 @@ def capture_shard(
     for instance in instances:
         result.events[instance.domain] = capture_events(instance)
         result.remote_posts[instance.domain] = capture_remote_posts(instance)
+        result.engagement[instance.domain] = capture_engagement(instance)
     return result
 
 
@@ -154,10 +176,12 @@ def federation_state(
     registry = prepared.registry
     events = {}
     remote_posts = {}
+    engagement = {}
     peers = {}
     for instance in registry.instances():
         events[instance.domain] = capture_events(instance)
         remote_posts[instance.domain] = capture_remote_posts(instance)
+        engagement[instance.domain] = capture_engagement(instance)
         peers[instance.domain] = tuple(sorted(instance.peers))
     generation = prepared.stats
     return {
@@ -171,6 +195,7 @@ def federation_state(
         "delivery_stats": delivery_stats_tuple(stats),
         "events": events,
         "remote_posts": remote_posts,
+        "engagement": engagement,
         "peers": peers,
     }
 
@@ -209,6 +234,7 @@ def merge_shard_results(
     ordered = sorted(results, key=lambda result: result.shard)
     events: dict[str, tuple] = {}
     remote_posts: dict[str, tuple] = {}
+    engagement: dict[str, tuple] = {}
     delivered = accepted = rejected = modified = 0
     by_policy: dict[str, int] = {}
     stream_delivered = stream_rejected = 0
@@ -220,6 +246,7 @@ def merge_shard_results(
                 )
             events[domain] = captured
         remote_posts.update(result.remote_posts)
+        engagement.update(result.engagement)
         shard_delivered, shard_accepted, shard_rejected, shard_modified, policies = (
             result.stats
         )
@@ -256,5 +283,6 @@ def merge_shard_results(
         ),
         "events": events,
         "remote_posts": remote_posts,
+        "engagement": engagement,
         "peers": peers,
     }

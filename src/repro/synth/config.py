@@ -303,6 +303,35 @@ class SynthConfig:
     #: Fan-out multiplier applied to hot origin instances.
     federation_hot_fanout_multiplier: float = 1.0
 
+    # -- protocol realism ------------------------------------------------- #
+    #: Share of origin instances that boost (``Announce``) posts from the
+    #: planted hot-post pool alongside their ``Create`` federation (the
+    #: ``viral`` scenario).  0 emits no boosts and draws no extra
+    #: randomness, so existing scenarios are bit-identical.
+    federation_announce_share: float = 0.0
+    #: Number of hot-post boosts a participating origin sends each peer.
+    federation_announces_per_peer: int = 3
+    #: Share of origin instances that favourite (``Like``) hot posts
+    #: alongside their federation.  0 draws no extra randomness.
+    federation_like_share: float = 0.0
+    #: Number of hot-post favourites a participating origin sends each peer.
+    federation_likes_per_peer: int = 2
+    #: Size of the planted hot-post pool boosts and likes are sampled from
+    #: (recorded in ground truth).  Only sampled when boosts or likes are
+    #: enabled, so Create-only populations stay bit-identical.
+    federation_hot_post_count: int = 8
+    #: Share of public seed posts that grow a reply thread (the
+    #: ``hellthread`` scenario).  Replies accumulate participant mentions
+    #: with depth, so deep threads on large instances cross the Hellthread
+    #: mention floors.  0 draws no extra randomness.
+    reply_thread_share: float = 0.0
+    #: Maximum reply-thread depth; 0 disables threading entirely.
+    reply_thread_max_depth: int = 0
+    #: Share of Pleroma instances that block known crawler user agents
+    #: (Epicyon-style UA blocking): their API refuses the measurement
+    #: client's user agent with a 403.  0 draws no extra randomness.
+    ua_blocking_share: float = 0.0
+
     # -- churn ------------------------------------------------------------ #
     #: Probability that a (non-elite) Pleroma instance goes down mid-campaign
     #: (the ``churn`` scenario).  0 draws no extra randomness, keeping
@@ -377,6 +406,22 @@ class SynthConfig:
             )
         if self.serving_clients < 1:
             raise ValueError("serving_clients must be at least 1")
+        if not 0 <= self.federation_announce_share <= 1:
+            raise ValueError("federation_announce_share must be within [0, 1]")
+        if self.federation_announces_per_peer < 1:
+            raise ValueError("federation_announces_per_peer must be at least 1")
+        if not 0 <= self.federation_like_share <= 1:
+            raise ValueError("federation_like_share must be within [0, 1]")
+        if self.federation_likes_per_peer < 1:
+            raise ValueError("federation_likes_per_peer must be at least 1")
+        if self.federation_hot_post_count < 1:
+            raise ValueError("federation_hot_post_count must be at least 1")
+        if not 0 <= self.reply_thread_share <= 1:
+            raise ValueError("reply_thread_share must be within [0, 1]")
+        if self.reply_thread_max_depth < 0:
+            raise ValueError("reply_thread_max_depth must be non-negative")
+        if not 0 <= self.ua_blocking_share <= 1:
+            raise ValueError("ua_blocking_share must be within [0, 1]")
 
     # ------------------------------------------------------------------ #
     # Derived quantities

@@ -15,7 +15,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.activitypub.activities import Activity, create_activity
+from repro.activitypub.activities import (
+    Activity,
+    announce_activity,
+    create_activity,
+    like_activity,
+)
 from repro.activitypub.actors import Actor
 from repro.activitypub.delivery import FederationDelivery
 from repro.fediverse.clock import SimulationClock
@@ -24,6 +29,8 @@ from repro.fediverse.post import MediaAttachment, Visibility
 from repro.fediverse.registry import FediverseRegistry
 from repro.fediverse.software import SoftwareKind
 from repro.perspective.attributes import Attribute
+from repro.protocol.announce import select_hot_posts
+from repro.protocol.conversation import CONVERSATION_FIELD, reply_content
 from repro.synth.config import (
     PAPER_ELITE_NON_PLEROMA_INSTANCES,
     PAPER_ELITE_PLEROMA_INSTANCES,
@@ -205,8 +212,19 @@ class FediverseGenerator:
 
         self._populate_users_and_posts(registry, rng, text, ground_truth, stats)
 
+        # Plant the hot-post pool boosts and likes are sampled from.  Only
+        # sampled when a protocol knob is on, so Create-only populations
+        # draw no extra randomness and stay bit-identical.
+        if config.federation_announce_share > 0.0 or config.federation_like_share > 0.0:
+            ground_truth.hot_post_uris = select_hot_posts(
+                registry, rng, config.federation_hot_post_count
+            )
+
         if config.instance_churn_rate > 0.0:
             self._apply_churn(registry, rng, ground_truth)
+
+        if config.ua_blocking_share > 0.0:
+            self._apply_ua_blocking(registry, rng, ground_truth)
 
         clock.advance_to(config.campaign_seconds)
         return PreparedFediverse(
@@ -473,6 +491,8 @@ class FediverseGenerator:
                 posts_here += self._create_posts(
                     instance, user, rng, text, category, attributes, target_score, band
                 )
+            if config.reply_thread_share > 0.0 and config.reply_thread_max_depth > 0:
+                posts_here += self._create_reply_threads(instance, rng, text)
             ground_truth.posts_per_instance[instance.domain] = posts_here
             stats.posts += posts_here
 
@@ -595,6 +615,74 @@ class FediverseGenerator:
             created += 1
         return created
 
+    def _apply_ua_blocking(
+        self,
+        registry: FediverseRegistry,
+        rng: random.Random,
+        ground_truth: GroundTruth,
+    ) -> None:
+        """Mark a share of Pleroma instances as blocking the crawler's UA.
+
+        Epicyon-style known-crawler blocking: the instance's API refuses
+        requests whose ``User-Agent`` contains a blocked token with a 403,
+        so coverage experiments can attribute the missing domains to UA
+        blocking rather than outages.  Elite instances never block (they
+        were all crawlable in the paper).
+        """
+        from repro.api.http import CRAWLER_UA_TOKEN
+
+        for instance in registry.pleroma_instances():
+            if instance.domain in ground_truth.elite_domains:
+                continue
+            if rng.random() >= self.config.ua_blocking_share:
+                continue
+            instance.blocked_user_agents = (CRAWLER_UA_TOKEN,)
+            ground_truth.ua_blocking_domains.add(instance.domain)
+
+    def _create_reply_threads(
+        self, instance: Instance, rng: random.Random, text: TextGenerator
+    ) -> int:
+        """Grow reply threads under a share of the instance's public posts.
+
+        Each reply is a real local post (it federates like any other post),
+        threaded via ``in_reply_to`` and grouped under the seed post's URI
+        as its conversation id.  Reply content starts with the accumulated
+        participant mentions — the client convention the Hellthread policy
+        keys on — so threads on large instances cross the mention floors at
+        realistic depth while small instances stay under them.
+        """
+        config = self.config
+        seeds = [
+            post
+            for post in instance.local_posts()
+            if post.visibility is Visibility.PUBLIC
+        ]
+        usernames = sorted(instance.users)
+        created = 0
+        for seed_post in seeds:
+            if rng.random() >= config.reply_thread_share:
+                continue
+            depth = rng.randint(1, config.reply_thread_max_depth)
+            thread_id = seed_post.uri
+            parent = seed_post
+            participants: list[str] = [seed_post.author]
+            for _ in range(depth):
+                username = rng.choice(usernames)
+                replier = instance.users[username]
+                body = text.benign_post(length=max(4, int(rng.gauss(10.0, 3.0))))
+                reply = instance.publish(
+                    username,
+                    reply_content(participants, body),
+                    created_at=rng.uniform(parent.created_at, config.campaign_seconds),
+                    in_reply_to=parent.uri,
+                )
+                reply.extra[CONVERSATION_FIELD] = thread_id
+                created += 1
+                if replier.handle not in participants:
+                    participants.append(replier.handle)
+                parent = reply
+        return created
+
     # ------------------------------------------------------------------ #
     # Churn
     # ------------------------------------------------------------------ #
@@ -688,6 +776,36 @@ class FediverseGenerator:
             sample_size = min(config.federation_posts_per_peer, len(local_posts))
             sample = rng.sample(local_posts, sample_size)
 
+            # Boost / favourite participation (the ``viral`` scenario): a
+            # participating origin re-fans the same hot-post sample to every
+            # peer it federates with, concentrating engagement on the pool.
+            # The shares default to 0 so no extra randomness is drawn and
+            # existing scenarios stay bit-identical.
+            hot_uris = ground_truth.hot_post_uris
+            booster: Actor | None = None
+            boosts: list[str] = []
+            if hot_uris and config.federation_announce_share > 0.0:
+                if rng.random() < config.federation_announce_share:
+                    booster = Actor.from_user(
+                        origin.get_user(rng.choice(sorted(origin.users)))
+                    )
+                    boosts = rng.sample(
+                        hot_uris,
+                        min(config.federation_announces_per_peer, len(hot_uris)),
+                    )
+            liker: Actor | None = None
+            likes: list[str] = []
+            if hot_uris and config.federation_like_share > 0.0:
+                if rng.random() < config.federation_like_share:
+                    liker = Actor.from_user(
+                        origin.get_user(rng.choice(sorted(origin.users)))
+                    )
+                    likes = rng.sample(
+                        hot_uris,
+                        min(config.federation_likes_per_peer, len(hot_uris)),
+                    )
+            now = registry.clock.now()
+
             seen_domains: set[str] = set()
             for receiver in receivers:
                 if receiver.domain == origin.domain or receiver.domain in seen_domains:
@@ -707,6 +825,26 @@ class FediverseGenerator:
                     target_domain=receiver.domain,
                     activities=activities,
                 )
+                # Boosts and favourites ship as their own type-homogeneous
+                # batches so the delivery engine can run the per-type batch
+                # programs; yielding them after the Create batch keeps the
+                # per-receiver moderation-event order deterministic.
+                if booster is not None:
+                    yield FederationBatch(
+                        origin_domain=origin.domain,
+                        target_domain=receiver.domain,
+                        activities=tuple(
+                            announce_activity(uri, booster, now) for uri in boosts
+                        ),
+                    )
+                if liker is not None:
+                    yield FederationBatch(
+                        origin_domain=origin.domain,
+                        target_domain=receiver.domain,
+                        activities=tuple(
+                            like_activity(uri, liker, now) for uri in likes
+                        ),
+                    )
 
             # Peers lists are much wider than actual deliveries: instances
             # remember every domain they ever saw.

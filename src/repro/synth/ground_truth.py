@@ -66,6 +66,11 @@ class GroundTruth:
     posts_per_instance: dict[str, int] = field(default_factory=dict)
     #: Domains planted to go down mid-campaign (the ``churn`` scenario).
     churned_domains: set[str] = field(default_factory=set)
+    #: URIs of the planted hot posts boosts/likes are sampled from (the
+    #: ``viral`` scenario; empty when the protocol knobs are off).
+    hot_post_uris: list[str] = field(default_factory=list)
+    #: Domains planted to block the measurement client's user agent.
+    ua_blocking_domains: set[str] = field(default_factory=set)
 
     def category(self, domain: str) -> InstanceCategory:
         """Return the planted category of ``domain`` (mainstream by default)."""

@@ -77,6 +77,34 @@ SCENARIOS: dict[str, dict] = {
         # sharded engine is measured under the mixed worker-fault mix.
         "worker_fault_profile": "mixed",
     },
+    # Protocol-realism load: boosts and favourites of a small hot-post pool
+    # re-fanned across origins (Announce traffic routinely dwarfs Create
+    # traffic on the real fediverse), signature-verified deliveries, and a
+    # slice of UA-blocking instances the crawler cannot reach.  The home
+    # scenario of the `protocol` bench stage's full-activity-mix gates.
+    "viral": {
+        "n_pleroma_instances": 400,
+        "campaign_days": 30.0,
+        "federation_announce_share": 0.5,
+        "federation_announces_per_peer": 4,
+        "federation_like_share": 0.4,
+        "federation_likes_per_peer": 3,
+        "federation_hot_post_count": 12,
+        "ua_blocking_share": 0.05,
+    },
+    # Deep reply threads with ever-growing mention blocks: by the configured
+    # depth every reply mentions a dozen-plus participants, which is exactly
+    # the traffic HellthreadPolicy's mention floor exists to cut off.
+    "hellthread": {
+        "n_pleroma_instances": 400,
+        "campaign_days": 30.0,
+        "reply_thread_share": 0.12,
+        "reply_thread_max_depth": 16,
+        "federation_announce_share": 0.2,
+        "federation_announces_per_peer": 2,
+        "federation_like_share": 0.2,
+        "federation_likes_per_peer": 2,
+    },
     # Instance population matching the paper's 1,534 Pleroma instances.
     "paper": {
         "n_pleroma_instances": 1534,

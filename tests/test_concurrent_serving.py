@@ -331,6 +331,16 @@ class TestConcurrentCampaignEquivalence:
         overrides = {"n_pleroma_instances": rng.randint(12, 30)}
         if rng.random() < 0.5:
             overrides["instance_churn_rate"] = 0.25
+        # Half the trials crawl an activity-mix population (boosts,
+        # favourites, reply threads, UA-blocking instances) — the crawl
+        # surface the protocol subsystem adds must merge identically too.
+        if rng.random() < 0.5:
+            overrides.update(
+                federation_announce_share=rng.choice([0.3, 0.5]),
+                federation_like_share=rng.choice([0.2, 0.4]),
+                reply_thread_share=rng.choice([0.0, 0.1]),
+                ua_blocking_share=rng.choice([0.0, 0.1]),
+            )
         config = scenario_config("tiny", seed=trial_seed, **overrides)
         campaign_config = CampaignConfig(
             duration_days=1.0, snapshot_interval_hours=6.0

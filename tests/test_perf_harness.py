@@ -33,6 +33,7 @@ def test_report_contains_every_benchmark(tiny_report) -> None:
         "crawl",
         "chaos",
         "serving",
+        "protocol",
         "sharding",
         "shard_chaos",
     }
@@ -77,6 +78,18 @@ def test_report_contains_every_benchmark(tiny_report) -> None:
     for n in (1, 2, 4):
         assert report.metrics["sharding"][f"sharded_seconds_workers_{n}"] > 0.0
         assert report.metrics["sharding"][f"scaling_efficiency_workers_{n}"] > 0.0
+    # The protocol stage passed its three equivalence gates (it raises
+    # otherwise), pushed engagement traffic through the engine, and its
+    # amortisation run actually cached key derivations.
+    protocol = report.metrics["protocol"]
+    assert protocol["boosts_received"] > 0.0
+    assert protocol["favourites_received"] > 0.0
+    assert protocol["verifications"] > 0.0
+    assert protocol["cache_hit_rate"] > 0.0
+    assert (
+        protocol["simulated_seconds_cached"]
+        < protocol["simulated_seconds_uncached"]
+    )
     assert report.workers == [1, 2, 4]
     assert report.dataset["posts"] > 0
     # The shard_chaos stage passed its recovery gates (it raises otherwise):

@@ -227,6 +227,23 @@ def fuzz_configs():
                 },
             )
         )
+    # Activity-mix populations: boosts, favourites and reply threads flow
+    # through the same sharded delivery path, so the determinism gate must
+    # hold for them too.  New draws come after the original ones so the
+    # original cases' seeds stay stable.
+    for _ in range(2):
+        cases.append(
+            (
+                "tiny",
+                {
+                    "federation_announce_share": rng.choice([0.3, 0.6]),
+                    "federation_like_share": rng.choice([0.2, 0.5]),
+                    "reply_thread_share": rng.choice([0.0, 0.15]),
+                    "reply_thread_max_depth": rng.choice([6, 12]),
+                    "instance_churn_rate": rng.choice([0.0, 0.2]),
+                },
+            )
+        )
     return [
         pytest.param(name, dict(overrides, seed=rng.randrange(1, 10_000)), id=f"case{i}")
         for i, (name, overrides) in enumerate(cases)
@@ -265,6 +282,25 @@ class TestShardedEquivalence:
         # counters must still come back through the pickled captures.
         assert sum(result.shard_batches) == result.batches
         assert result.delivered > 0
+
+    @pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+    def test_merged_state_bit_identical_forked_activity_mix(self):
+        """Forked workers deliver Announce/Like/reply traffic to the same
+        bits: engagement counters cross the pickle boundary intact."""
+        generator = FediverseGenerator(
+            scenario_config(
+                "tiny",
+                seed=31,
+                federation_announce_share=0.5,
+                federation_like_share=0.4,
+                reply_thread_share=0.1,
+                reply_thread_max_depth=8,
+            )
+        )
+        reference = single_process_state(generator)
+        result = sharded_run(generator, 2, processes=True)
+        assert result.mode == "fork"
+        assert result.state == reference
 
     def test_worker_count_must_be_positive(self):
         generator = FediverseGenerator(scenario_config("tiny", seed=3))
